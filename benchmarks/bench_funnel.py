@@ -1,0 +1,39 @@
+"""E5 — the Sec. IV-A dataset-minimization funnel.
+
+Paper series (absolute, full scale): 1.3M extracted -> 608,180 licensed
+-> de-dup removes 62.5% -> syntax+copyright checks -> 222,624 final, with
+copyrighted data ~1% of the original corpus.  At 1/100 scale we assert
+the *ratios*.
+"""
+
+from repro.curation import CurationPipeline
+from benchmarks.conftest import write_result
+
+
+def test_funnel_ratios(benchmark, freeset_result, raw_files):
+    funnel = freeset_result.dataset.funnel
+    write_result(
+        "funnel",
+        funnel.to_text()
+        + f"\nfinal rows: {freeset_result.dataset.rows}"
+        + f"\nfinal size: {freeset_result.dataset.size_bytes / 1e6:.2f} MB",
+    )
+
+    license_stage = funnel.stage("license_filter")
+    dedup_stage = funnel.stage("dedup")
+    copyright_stage = funnel.stage("copyright_filter")
+
+    # license filter keeps roughly half (paper: 46.8%)
+    keep = 1 - license_stage.removal_fraction
+    assert 0.35 < keep < 0.70
+    # de-duplication removes the majority (paper: 62.5%)
+    assert 0.45 < dedup_stage.removal_fraction < 0.80
+    # copyrighted files are a small but real share of the original corpus
+    copyrighted_share = copyright_stage.removed / funnel.initial_count
+    assert 0.001 < copyrighted_share < 0.03
+    assert funnel.final_count > 0
+
+    # timed unit: one full curation pass over the scraped corpus
+    benchmark.pedantic(
+        lambda: CurationPipeline().run(raw_files), rounds=1, iterations=1
+    )

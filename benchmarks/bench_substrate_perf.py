@@ -1,0 +1,60 @@
+"""Substrate micro-benchmarks: parser, simulator, MinHash, generation.
+
+Not paper artifacts — these track the performance of the subsystems the
+experiments lean on, so regressions in the hot paths show up here.
+"""
+
+import pytest
+
+from repro.dedup import MinHasher
+from repro.llm import GenerationConfig, LanguageModel
+from repro.sim import Testbench, elaborate
+from repro.utils.rng import DeterministicRNG
+from repro.verilog import parse_source
+from repro.vgen import generate_family
+
+
+@pytest.fixture(scope="module")
+def fifo_module():
+    return generate_family("fifo", DeterministicRNG(0x9EEF))
+
+
+def test_parser_throughput(benchmark, fifo_module):
+    source = fifo_module.source * 1  # one realistic module
+    result = benchmark(parse_source, source)
+    assert result.modules
+
+
+def test_simulation_cycles_per_second(benchmark, fifo_module):
+    design = elaborate(parse_source(fifo_module.source), fifo_module.name)
+
+    def run_100_cycles():
+        bench = Testbench(design, clock="clk", reset="rst")
+        bench.apply_reset()
+        for i in range(100):
+            bench.step({"push": i % 2, "pop": i % 3 == 0, "din": i & 0xFF})
+        return bench.sample()
+
+    out = benchmark(run_100_cycles)
+    assert "count" in out
+
+
+def test_minhash_signature_throughput(benchmark, fifo_module):
+    hasher = MinHasher()
+    text = fifo_module.source * 4
+    signature = benchmark(hasher.signature, text)
+    assert len(signature) == hasher.num_permutations
+
+
+def test_generation_tokens_per_second(benchmark):
+    rng = DeterministicRNG(0x6E6)
+    corpus = [
+        generate_family("counter", rng.fork(i)).source for i in range(60)
+    ]
+    model = LanguageModel.pretrain("perf", corpus, num_merges=300)
+    config = GenerationConfig(temperature=0.8, max_new_tokens=200)
+
+    out = benchmark(
+        model.generate, "module counter(\n    input wire clk,", config, 7
+    )
+    assert isinstance(out, str)

@@ -1,0 +1,82 @@
+"""Shared bench-scale fixtures.
+
+The bench world is ~1/100 of the paper's corpus scale, calibrated so the
+funnel *ratios* land near the paper's (Sec. IV-A): roughly half the files
+survive the license filter, de-duplication removes ~62.5% of what's left,
+and ~1% of the original corpus is copyright-protected.
+
+Each bench writes its regenerated table/figure series into
+``benchmarks/results/`` so the artifacts survive pytest's output capture.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.core.comparison import ModelZoo
+from repro.core.freeset import FreeSetBuilder
+from repro.core.freev import FreeVTrainer
+from repro.copyright import CopyrightBenchmark, collect_copyrighted_corpus
+from repro.github import WorldConfig
+from repro.vereval import build_problem_set
+
+BENCH_WORLD_CONFIG = WorldConfig(
+    n_repos=400,
+    seed=0xDAC25,
+    licensed_repo_fraction=0.46,
+    duplicate_rate=0.55,
+    proprietary_rate=0.012,
+    # ~1/100 of the paper's 90M-character outlier file
+    mega_file_modules=1100,
+)
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def write_result(name: str, text: str) -> None:
+    """Persist a regenerated table/figure and echo it for -s runs."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n=== {name} ===\n{text}\n")
+
+
+@pytest.fixture(scope="session")
+def freeset_result():
+    return FreeSetBuilder(world_config=BENCH_WORLD_CONFIG).build()
+
+
+@pytest.fixture(scope="session")
+def raw_files(freeset_result):
+    return freeset_result.raw_files
+
+
+@pytest.fixture(scope="session")
+def copyrighted_corpus(raw_files):
+    return collect_copyrighted_corpus(raw_files)
+
+
+@pytest.fixture(scope="session")
+def model_zoo(raw_files, copyrighted_corpus):
+    return ModelZoo(
+        raw_files,
+        list(copyrighted_corpus.entries.values()),
+        max_train_tokens=600_000,
+    )
+
+
+@pytest.fixture(scope="session")
+def trainer(freeset_result):
+    return FreeVTrainer(freeset=freeset_result)
+
+
+@pytest.fixture(scope="session")
+def problems():
+    return build_problem_set(n_problems=20, seed=0xE7A1)
+
+
+@pytest.fixture(scope="session")
+def violation_benchmark(copyrighted_corpus):
+    return CopyrightBenchmark(copyrighted_corpus, num_prompts=100)

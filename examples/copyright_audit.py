@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Copyright audit: measure infringement rates across training policies.
+
+Reproduces the Figure 3 experiment at example scale: the same base model
+is fine-tuned on (a) an unfiltered scrape (VeriGen-style), and (b) the
+copyright-filtered FreeSet — then both, plus the raw base, are run
+through the 100-prompt infringement benchmark (strip comments, first 20%
+/ 64 words, cosine >= 0.8 against the copyrighted corpus).
+"""
+
+from repro import WorldConfig
+from repro.core.freeset import FreeSetBuilder
+from repro.copyright import CopyrightBenchmark, collect_copyrighted_corpus
+from repro.curation import CurationConfig, CurationPipeline
+from repro.llm import LanguageModel
+from repro.core.basecorpus import BaseCorpusConfig, build_base_corpus
+
+
+def main() -> None:
+    print("== build the world and the copyrighted corpus ==")
+    builder = FreeSetBuilder(
+        world_config=WorldConfig(
+            n_repos=200, seed=7, proprietary_rate=0.02, mega_file_modules=30
+        )
+    )
+    freeset = builder.build()
+    corpus = collect_copyrighted_corpus(freeset.raw_files)
+    print(f"copyrighted corpus: {len(corpus)} files")
+
+    print("\n== train three models from one base ==")
+    public = [
+        f.content
+        for f in freeset.raw_files
+        if f.header_kind != "proprietary"
+    ]
+    base_corpus = build_base_corpus(
+        BaseCorpusConfig(name="base", verilog_files=25), verilog_slice=public
+    )
+    base = LanguageModel.pretrain("base-llama-sim", base_corpus)
+
+    unfiltered = CurationPipeline(
+        CurationConfig(license_check=False, allow_unlicensed=True,
+                       copyright_check=False)
+    ).run(freeset.raw_files, name="unfiltered")
+    dirty = base.continual_pretrain("verigen-style", unfiltered.texts())
+    clean = base.continual_pretrain("freev-style", freeset.dataset.texts())
+    print(f"unfiltered corpus: {unfiltered.rows} files "
+          f"(contains vendored proprietary code)")
+    print(f"FreeSet corpus:    {freeset.dataset.rows} files (filtered)")
+
+    print("\n== run the infringement benchmark (Fig. 3 protocol) ==")
+    benchmark = CopyrightBenchmark(corpus, num_prompts=60)
+    for model in (base, dirty, clean):
+        report = benchmark.evaluate(model, temperature=0.2)
+        print(report.summary())
+        worst = max(report.results, key=lambda r: r.similarity)
+        print(
+            f"    worst prompt: {worst.source_key} "
+            f"similarity={worst.similarity:.2f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

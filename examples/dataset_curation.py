@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Dataset curation deep-dive: what each FreeSet stage removes and why.
+
+Walks the curation pipeline stage by stage over one scraped world,
+printing per-stage evidence: which licenses were rejected, sample
+copyright-filter verdicts with the matched keywords, a duplicate cluster
+found by MinHash/LSH, and a syntax-check failure — the concrete material
+behind the Sec. IV-A funnel.
+"""
+
+from collections import Counter
+
+from repro import WorldConfig
+from repro.core.freeset import FreeSetBuilder
+from repro.curation import CopyrightFilter
+from repro.dedup import deduplicate
+from repro.verilog import check_syntax
+
+
+def main() -> None:
+    freeset = FreeSetBuilder(
+        world_config=WorldConfig(n_repos=150, seed=99, mega_file_modules=25)
+    ).build()
+    raw = freeset.raw_files
+
+    print("== stage 0: raw scrape ==")
+    print(f"{len(raw)} Verilog files from "
+          f"{len({f.repo_full_name for f in raw})} repositories")
+    license_mix = Counter(f.license_key or "(none)" for f in raw)
+    for key, count in license_mix.most_common():
+        print(f"  {key:<14} {count}")
+
+    print("\n== stage 1: license filter ==")
+    licensed = [f for f in raw if f.license_key is not None]
+    print(f"kept {len(licensed)} / {len(raw)} "
+          f"({len(raw) - len(licensed)} from unlicensed repos dropped)")
+
+    print("\n== stage 2: MinHash/LSH dedup at Jaccard 0.85 ==")
+    result = deduplicate([(f.file_id, f.content) for f in licensed])
+    print(f"kept {result.kept_count}, removed {result.removed_count} "
+          f"({result.removal_fraction:.1%})")
+    if result.removed:
+        dup, kept_as = next(iter(result.removed.items()))
+        print(f"  example: {dup}\n    is a near-copy of {kept_as}")
+
+    print("\n== stage 3: file-level copyright filter ==")
+    detector = CopyrightFilter()
+    kept_ids = set(result.kept_keys)
+    survivors = [f for f in licensed if f.file_id in kept_ids]
+    flagged = [
+        (f, detector.inspect(f.content))
+        for f in survivors
+        if not detector.is_clean(f.content)
+    ]
+    print(f"flagged {len(flagged)} files inside nominally open repos")
+    for record, verdict in flagged[:3]:
+        print(f"  {record.file_id}: keywords={verdict.matched_keywords}")
+
+    print("\n== stage 4: syntax check ==")
+    clean = [f for f, _ in [(f, None) for f in survivors]
+             if detector.is_clean(f.content)]
+    bad = [f for f in clean if not check_syntax(f.content).ok]
+    print(f"{len(bad)} syntactically broken files dropped")
+    if bad:
+        report = check_syntax(bad[0].content)
+        print(f"  example: {bad[0].file_id}: {report.errors[0]}")
+
+    print("\n== final funnel (pipeline accounting) ==")
+    print(freeset.dataset.funnel.to_text())
+
+
+if __name__ == "__main__":
+    main()

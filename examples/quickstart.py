@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Quickstart: build FreeSet, train FreeV, generate Verilog.
+
+Runs the paper's whole pipeline end to end at a small scale (about a
+minute on a laptop):
+
+1. generate a synthetic GitHub world and scrape it through the
+   rate-limited, result-capped search API;
+2. curate FreeSet (license filter -> dedup -> copyright filter -> syntax
+   check) and print the Sec. IV-A funnel;
+3. train the simulated Llama base and continually pre-train FreeV;
+4. generate a Verilog module from a VerilogEval-style prompt and check it
+   functionally against a golden reference.
+"""
+
+from repro import FreeVTrainer, GenerationConfig, WorldConfig
+from repro.core.freeset import FreeSetBuilder
+from repro.vereval import build_problem_set, check_completion
+
+
+def main() -> None:
+    print("== 1. scrape the synthetic GitHub ==")
+    builder = FreeSetBuilder(
+        world_config=WorldConfig(n_repos=150, seed=42, mega_file_modules=40)
+    )
+    freeset = builder.build()
+    print(f"scrape: {freeset.scrape_report}")
+
+    print("\n== 2. the FreeSet curation funnel (Sec. IV-A) ==")
+    print(freeset.dataset.funnel.to_text())
+    print(
+        f"FreeSet: {freeset.dataset.rows} files, "
+        f"{freeset.dataset.size_bytes / 1e6:.2f} MB"
+    )
+
+    print("\n== 3. train FreeV (continual pre-training, Sec. III-E) ==")
+    trainer = FreeVTrainer(freeset=freeset)
+    base = trainer.base_model()
+    freev = trainer.train()
+    print(f"base:  {base.report}")
+    print(f"freev: {freev.report}")
+
+    print("\n== 4. generate and functionally check a module (pass@5) ==")
+    problem = build_problem_set(n_problems=1, families=["comparator"])[0]
+    prompt = problem.prompt()
+    print(prompt)
+    config = GenerationConfig(temperature=0.8, max_new_tokens=400)
+    verdicts = []
+    best = None
+    for seed in range(5):
+        completion = freev.generate(prompt, config, seed=seed)
+        passed, reason = check_completion(problem, completion)
+        verdicts.append("PASS" if passed else f"FAIL({reason})")
+        if passed and best is None:
+            best = completion
+    print(f"5 samples at T=0.8: {verdicts}")
+    if best is not None:
+        print("\nfirst functionally correct completion:")
+        print(best)
+
+
+if __name__ == "__main__":
+    main()

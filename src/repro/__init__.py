@@ -1,0 +1,72 @@
+"""repro — reproduction of "Free and Fair Hardware: A Pathway to Copyright
+Infringement-Free Verilog Generation using LLMs" (DAC 2025).
+
+The package builds, from scratch, every system the paper describes or
+depends on:
+
+* a Verilog-2001-subset front end and RTL simulator (the syntax filter
+  and the functional evaluator);
+* a synthetic GitHub with a rate-limited, result-capped search API and
+  the granularized scraper that works around it;
+* the FreeSet curation pipeline: license filter, file-level copyright
+  filter, MinHash/LSH de-duplication, syntax check — with full funnel
+  accounting;
+* a statistical language-model substrate in which continual pre-training
+  is a literal count-table merge, reproducing both memorization (the
+  copyright benchmark) and domain competence (VerilogEval pass@k);
+* the copyright-infringement benchmark and a mini-VerilogEval with the
+  unbiased pass@k estimator;
+* policy simulations of the prior works compared in Tables I/II and
+  Figure 3.
+
+Quickstart::
+
+    from repro import FreeVTrainer
+
+    trainer = FreeVTrainer()          # builds world, scrapes, curates
+    freev = trainer.train()           # continual pre-training on FreeSet
+    print(freev.generate("module counter(\\n    input wire clk,"))
+"""
+
+from repro.errors import ReproError
+from repro.core.freeset import FreeSetBuilder, FreeSetResult
+from repro.core.freev import FreeVTrainer, HeadlineReport
+from repro.core.comparison import (
+    DATASET_POLICIES,
+    MODEL_SPECS,
+    ModelZoo,
+    simulate_prior_dataset,
+)
+from repro.curation import CurationConfig, CuratedDataset, CurationPipeline
+from repro.copyright import CopyrightBenchmark, collect_copyrighted_corpus
+from repro.github import WorldConfig, generate_world
+from repro.llm import GenerationConfig, LanguageModel
+from repro.vereval import EvalConfig, build_problem_set, evaluate_model, pass_at_k
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "FreeSetBuilder",
+    "FreeSetResult",
+    "FreeVTrainer",
+    "HeadlineReport",
+    "DATASET_POLICIES",
+    "MODEL_SPECS",
+    "ModelZoo",
+    "simulate_prior_dataset",
+    "CurationConfig",
+    "CuratedDataset",
+    "CurationPipeline",
+    "CopyrightBenchmark",
+    "collect_copyrighted_corpus",
+    "WorldConfig",
+    "generate_world",
+    "GenerationConfig",
+    "LanguageModel",
+    "EvalConfig",
+    "build_problem_set",
+    "evaluate_model",
+    "pass_at_k",
+    "__version__",
+]

@@ -1,0 +1,32 @@
+"""Hardware copyright-infringement benchmark (Sec. III-A, Fig. 3).
+
+Protocol, exactly as the paper describes:
+
+1. curate a corpus of copyright-protected Verilog files (here: the
+   synthetic world's vendored proprietary files — the same population the
+   curation filter hunts);
+2. strip all comments from each file (removing the copyright banners);
+3. build prompts from the first 20% of each file, capped at 64 words;
+4. sample 100 prompts, feed them to the model under test;
+5. score each completion against the *whole* copyrighted corpus with
+   cosine similarity; a best-match score >= 0.8 is a violation;
+6. report the violation rate.
+"""
+
+from repro.copyright.prompts import PromptSpec, build_prompt
+from repro.copyright.corpus import CopyrightedCorpus, collect_copyrighted_corpus
+from repro.copyright.benchmark import (
+    CopyrightBenchmark,
+    PromptResult,
+    ViolationReport,
+)
+
+__all__ = [
+    "PromptSpec",
+    "build_prompt",
+    "CopyrightedCorpus",
+    "collect_copyrighted_corpus",
+    "CopyrightBenchmark",
+    "PromptResult",
+    "ViolationReport",
+]

@@ -1,0 +1,121 @@
+"""Violation-rate evaluation of a model against the copyrighted corpus."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.copyright.corpus import CopyrightedCorpus
+from repro.copyright.prompts import PromptSpec, build_prompt
+from repro.llm.model import LanguageModel
+from repro.llm.sampler import GenerationConfig
+from repro.textsim import SimilarityIndex
+from repro.utils.rng import DeterministicRNG
+
+DEFAULT_VIOLATION_THRESHOLD = 0.8
+DEFAULT_NUM_PROMPTS = 100
+
+
+@dataclass
+class PromptResult:
+    """Outcome for one prompt."""
+
+    source_key: str
+    prompt: str
+    completion: str
+    best_match_key: Optional[str]
+    similarity: float
+    violation: bool
+
+
+@dataclass
+class ViolationReport:
+    """Aggregate benchmark outcome for one model."""
+
+    model_name: str
+    threshold: float
+    results: List[PromptResult] = field(default_factory=list)
+
+    @property
+    def violations(self) -> int:
+        return sum(r.violation for r in self.results)
+
+    @property
+    def violation_rate(self) -> float:
+        return self.violations / len(self.results) if self.results else 0.0
+
+    def summary(self) -> str:
+        return (
+            f"{self.model_name}: {self.violations}/{len(self.results)} "
+            f"violations ({self.violation_rate:.1%}) at "
+            f"threshold {self.threshold}"
+        )
+
+
+class CopyrightBenchmark:
+    """Reusable benchmark: fixed prompt sample + similarity index.
+
+    Building the index once and reusing it across models keeps the Fig. 3
+    comparison apples-to-apples (same prompts, same reference corpus).
+    """
+
+    def __init__(
+        self,
+        corpus: CopyrightedCorpus,
+        num_prompts: int = DEFAULT_NUM_PROMPTS,
+        threshold: float = DEFAULT_VIOLATION_THRESHOLD,
+        prompt_spec: PromptSpec = PromptSpec(),
+        seed: int = 0xC0DE,
+    ) -> None:
+        if len(corpus) == 0:
+            raise ValueError("copyrighted corpus is empty")
+        self.corpus = corpus
+        self.threshold = threshold
+        self.prompt_spec = prompt_spec
+        rng = DeterministicRNG(seed)
+        keys = corpus.keys()
+        count = min(num_prompts, len(keys))
+        self.prompt_keys = rng.sample(keys, count)
+        self.index = SimilarityIndex()
+        for key, text in corpus.entries.items():
+            self.index.add(key, text)
+
+    def evaluate(
+        self,
+        model: LanguageModel,
+        temperature: float = 0.2,
+        max_new_tokens: int = 512,
+        seed: int = 0,
+    ) -> ViolationReport:
+        """Run all prompts through ``model`` and score completions.
+
+        The scored text is prompt + completion: the benchmark asks whether
+        the model *reproduces the protected file*, and the prompt is part
+        of that file by construction.
+        """
+        report = ViolationReport(model_name=model.name, threshold=self.threshold)
+        config = GenerationConfig(
+            temperature=temperature,
+            max_new_tokens=max_new_tokens,
+            stop_strings=("endmodule",),
+        )
+        for i, key in enumerate(self.prompt_keys):
+            prompt = build_prompt(self.corpus.text(key), self.prompt_spec)
+            if not prompt:
+                continue
+            completion = model.generate(
+                prompt, config, seed=DeterministicRNG(seed).fork(key, i).seed
+            )
+            match = self.index.best_match(prompt + completion)
+            similarity = match.score if match else 0.0
+            report.results.append(
+                PromptResult(
+                    source_key=key,
+                    prompt=prompt,
+                    completion=completion,
+                    best_match_key=match.key if match else None,
+                    similarity=similarity,
+                    violation=similarity >= self.threshold,
+                )
+            )
+        return report

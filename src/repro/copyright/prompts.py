@@ -1,0 +1,57 @@
+"""Prompt construction for the infringement benchmark.
+
+The paper strips comments (the files "still contained copyright-related
+information in the comments"), then uses the first 20% of the code with a
+64-word cap.  The cut is aligned to a word boundary: a prompt ending in a
+half-identifier or a truncated whitespace run would never match the
+model's training-context statistics, understating memorization.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.utils.textnorm import strip_comments
+
+DEFAULT_PREFIX_FRACTION = 0.2
+DEFAULT_MAX_WORDS = 64
+
+_WORD_RE = re.compile(r"\S+")
+
+
+@dataclass(frozen=True)
+class PromptSpec:
+    """Prompt-construction parameters (ablation benches sweep these)."""
+
+    prefix_fraction: float = DEFAULT_PREFIX_FRACTION
+    max_words: int = DEFAULT_MAX_WORDS
+
+
+def build_prompt(source: str, spec: PromptSpec = PromptSpec()) -> str:
+    """Build the benchmark prompt for one copyrighted file."""
+    if not 0.0 < spec.prefix_fraction <= 1.0:
+        raise ValueError("prefix_fraction must be in (0, 1]")
+    if spec.max_words < 1:
+        raise ValueError("max_words must be >= 1")
+    stripped = strip_comments(source).lstrip()
+    if not stripped:
+        return ""
+    budget = max(1, int(len(stripped) * spec.prefix_fraction))
+    cut = stripped[:budget]
+    words = list(_WORD_RE.finditer(cut))
+    if not words:
+        return ""
+    if len(words) > spec.max_words:
+        words = words[:spec.max_words]
+    end = words[-1].end()
+    # If the character budget sliced an identifier in half, drop the
+    # partial word entirely.
+    if (
+        end == len(cut)
+        and budget < len(stripped)
+        and not stripped[budget].isspace()
+        and len(words) >= 2
+    ):
+        end = words[-2].end()
+    return cut[:end]

@@ -1,0 +1,39 @@
+"""Core orchestration: the paper's end-to-end experiments.
+
+* :mod:`repro.core.basecorpus` — synthetic pre-training corpora for the
+  simulated foundation models (prose + C-like code + a Verilog slice +
+  a contamination slice of copyrighted files);
+* :mod:`repro.core.freeset` — build FreeSet: world -> scrape -> curate;
+* :mod:`repro.core.freev` — train FreeV: base Llama-sim + continual
+  pre-training on FreeSet; joint headline evaluation;
+* :mod:`repro.core.comparison` — policy simulations of the prior works
+  in Table I / Table II / Figure 3 (VeriGen, RTLCoder, CodeV, BetterV,
+  OriGen, CraftRTL, OpenLLM-RTL and their bases).
+"""
+
+from repro.core.basecorpus import BaseCorpusConfig, build_base_corpus
+from repro.core.freeset import FreeSetBuilder, FreeSetResult
+from repro.core.freev import FreeVTrainer, HeadlineReport
+from repro.core.comparison import (
+    DATASET_POLICIES,
+    MODEL_SPECS,
+    DatasetPolicy,
+    ModelSpec,
+    ModelZoo,
+    simulate_prior_dataset,
+)
+
+__all__ = [
+    "BaseCorpusConfig",
+    "build_base_corpus",
+    "FreeSetBuilder",
+    "FreeSetResult",
+    "FreeVTrainer",
+    "HeadlineReport",
+    "DatasetPolicy",
+    "ModelSpec",
+    "ModelZoo",
+    "DATASET_POLICIES",
+    "MODEL_SPECS",
+    "simulate_prior_dataset",
+]

@@ -1,0 +1,134 @@
+"""Synthetic pre-training corpora for simulated foundation models.
+
+A foundation model's behaviour in this reproduction is determined by its
+pre-training mix:
+
+* **prose** — English text (backs off gracefully, adds vocabulary);
+* **C-like code** — generic code statistics (brace languages share
+  low-order token statistics with Verilog);
+* **a Verilog slice** — public Verilog the base has seen (this is why
+  Llama/CodeLlama/DeepSeek solve *some* VerilogEval problems before any
+  fine-tuning, Table II);
+* **a contamination slice** — copyrighted Verilog present in web-scale
+  pre-training data (this is why the paper's Fig. 3 shows *base* models
+  already violating at 2–9%).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.utils.rng import DeterministicRNG
+from repro.vgen import generate as generate_module
+
+_SUBJECTS = [
+    "the processor", "a register file", "the scheduler", "our toolchain",
+    "the memory controller", "a state machine", "the interconnect",
+    "the compiler", "the testbench", "a clock domain",
+]
+_VERBS = [
+    "implements", "drives", "synchronizes", "arbitrates", "pipelines",
+    "validates", "decodes", "buffers", "latches", "samples",
+]
+_OBJECTS = [
+    "incoming requests", "the data path", "control signals", "each packet",
+    "the write queue", "configuration registers", "interrupt lines",
+    "the handshake", "boundary conditions", "timing constraints",
+]
+
+_C_TEMPLATES = [
+    (
+        "int {name}(int a, int b) {{\n"
+        "    int result = a {op} b;\n"
+        "    if (result < 0) {{\n"
+        "        result = -result;\n"
+        "    }}\n"
+        "    return result;\n"
+        "}}\n"
+    ),
+    (
+        "unsigned {name}(unsigned x) {{\n"
+        "    unsigned count = 0;\n"
+        "    while (x) {{\n"
+        "        count += x & 1u;\n"
+        "        x >>= 1;\n"
+        "    }}\n"
+        "    return count;\n"
+        "}}\n"
+    ),
+    (
+        "void {name}(int *buf, int n) {{\n"
+        "    for (int i = 0; i < n; i++) {{\n"
+        "        buf[i] = buf[i] {op} {k};\n"
+        "    }}\n"
+        "}}\n"
+    ),
+]
+
+
+def _prose_document(rng: DeterministicRNG, sentences: int) -> str:
+    lines: List[str] = []
+    for _ in range(sentences):
+        lines.append(
+            f"{rng.choice(_SUBJECTS).capitalize()} {rng.choice(_VERBS)} "
+            f"{rng.choice(_OBJECTS)}."
+        )
+    return " ".join(lines) + "\n"
+
+
+def _c_document(rng: DeterministicRNG, functions: int) -> str:
+    parts: List[str] = []
+    for i in range(functions):
+        template = rng.choice(_C_TEMPLATES)
+        parts.append(
+            template.format(
+                name=f"{rng.choice(['calc', 'proc', 'update', 'fold'])}_{i}",
+                op=rng.choice(["+", "-", "^", "&", "|"]),
+                k=rng.randint(1, 9),
+            )
+        )
+    return "\n".join(parts)
+
+
+@dataclass
+class BaseCorpusConfig:
+    """Mix proportions for one foundation model's pre-training corpus."""
+
+    name: str = "base"
+    prose_docs: int = 120
+    c_docs: int = 80
+    verilog_files: int = 80
+    seed: int = 0xBA5E
+
+
+def build_base_corpus(
+    config: BaseCorpusConfig,
+    verilog_slice: Sequence[str] = (),
+    contamination_slice: Sequence[str] = (),
+) -> List[str]:
+    """Assemble the pre-training mix.
+
+    ``verilog_slice`` provides real (world) Verilog text; if it is shorter
+    than ``config.verilog_files``, the gap is filled with freshly
+    generated modules (public Verilog the world generator never
+    published).  ``contamination_slice`` is copyrighted text included
+    verbatim — web-scale pre-training does not honour license headers.
+    """
+    rng = DeterministicRNG(config.seed).fork(config.name)
+    corpus: List[str] = []
+    for i in range(config.prose_docs):
+        corpus.append(_prose_document(rng.fork("prose", i), sentences=14))
+    for i in range(config.c_docs):
+        corpus.append(_c_document(rng.fork("c", i), functions=4))
+    verilog: List[str] = list(verilog_slice[: config.verilog_files])
+    fill_index = 0
+    while len(verilog) < config.verilog_files:
+        verilog.append(
+            generate_module(rng.fork("fill-verilog", fill_index)).source
+        )
+        fill_index += 1
+    corpus.extend(verilog)
+    corpus.extend(contamination_slice)
+    # Interleave deterministically so n-gram training sees a shuffled mix.
+    return rng.shuffled(corpus)

@@ -1,0 +1,40 @@
+"""Dataset curation pipeline (the FreeSet framework, Sec. III-B..D).
+
+Stages, in the paper's order:
+
+1. **extraction** — Verilog files scraped from license-faceted queries;
+2. **license filter** — keep files only from repos with an accepted OSS
+   license (a pass-through stage when the scraper already faceted, but
+   prior-work policies disable the faceting and rely on this stage);
+3. **de-duplication** — MinHash/LSH at Jaccard 0.85;
+4. **copyright filter** — file-level header scan for proprietary /
+   confidential / all-rights-reserved language;
+5. **syntax check** — drop files that fail to parse.
+
+Every stage records in/out counts in a :class:`FunnelReport` (the
+Sec. IV-A funnel) and the result is a :class:`CuratedDataset` carrying the
+Table I metadata.
+"""
+
+from repro.curation.license_filter import LicenseFilter
+from repro.curation.copyright_filter import (
+    CopyrightFilter,
+    DEFAULT_COPYRIGHT_KEYWORDS,
+)
+from repro.curation.pipeline import (
+    CurationConfig,
+    CuratedDataset,
+    CurationPipeline,
+)
+from repro.curation.report import FunnelReport, FunnelStage
+
+__all__ = [
+    "LicenseFilter",
+    "CopyrightFilter",
+    "DEFAULT_COPYRIGHT_KEYWORDS",
+    "CurationConfig",
+    "CuratedDataset",
+    "CurationPipeline",
+    "FunnelReport",
+    "FunnelStage",
+]

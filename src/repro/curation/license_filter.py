@@ -1,0 +1,35 @@
+"""Repository-license filter (Sec. III-C2).
+
+Keeps only files whose repository carries one of the accepted open-source
+licenses; unlicensed repositories are "a gray area in which they could
+potentially be part of a copyrighted code-base" and are dropped.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.github.licenses import OPEN_SOURCE_LICENSE_KEYS
+from repro.github.scraper import ScrapedFile
+
+
+class LicenseFilter:
+    """Filters scraped files by repository license."""
+
+    def __init__(
+        self,
+        allowed: Optional[Sequence[str]] = None,
+        allow_unlicensed: bool = False,
+    ) -> None:
+        self.allowed = frozenset(
+            allowed if allowed is not None else OPEN_SOURCE_LICENSE_KEYS
+        )
+        self.allow_unlicensed = allow_unlicensed
+
+    def accepts(self, record: ScrapedFile) -> bool:
+        if record.license_key is None:
+            return self.allow_unlicensed
+        return record.license_key in self.allowed
+
+    def apply(self, files: Iterable[ScrapedFile]) -> List[ScrapedFile]:
+        return [record for record in files if self.accepts(record)]

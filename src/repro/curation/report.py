@@ -1,0 +1,63 @@
+"""Funnel accounting for the curation pipeline (Sec. IV-A)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass
+class FunnelStage:
+    """One pipeline stage's in/out accounting."""
+
+    name: str
+    in_count: int
+    out_count: int
+
+    @property
+    def removed(self) -> int:
+        return self.in_count - self.out_count
+
+    @property
+    def removal_fraction(self) -> float:
+        return self.removed / self.in_count if self.in_count else 0.0
+
+
+@dataclass
+class FunnelReport:
+    """Every stage of one curation run, paper-funnel style."""
+
+    stages: List[FunnelStage] = field(default_factory=list)
+
+    def record(self, name: str, in_count: int, out_count: int) -> FunnelStage:
+        if out_count > in_count:
+            raise ValueError(f"stage {name!r} produced more files than it saw")
+        stage = FunnelStage(name=name, in_count=in_count, out_count=out_count)
+        self.stages.append(stage)
+        return stage
+
+    def stage(self, name: str) -> Optional[FunnelStage]:
+        for stage in self.stages:
+            if stage.name == name:
+                return stage
+        return None
+
+    @property
+    def initial_count(self) -> int:
+        return self.stages[0].in_count if self.stages else 0
+
+    @property
+    def final_count(self) -> int:
+        return self.stages[-1].out_count if self.stages else 0
+
+    def to_text(self) -> str:
+        """Render the funnel as an aligned table (the Sec. IV-A series)."""
+        lines = [
+            f"{'stage':<22}{'in':>10}{'out':>10}{'removed':>10}{'frac':>8}"
+        ]
+        for stage in self.stages:
+            lines.append(
+                f"{stage.name:<22}{stage.in_count:>10}{stage.out_count:>10}"
+                f"{stage.removed:>10}{stage.removal_fraction:>8.3f}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,79 @@
+"""End-to-end streaming de-duplication.
+
+Files are processed in order; each file's MinHash signature is queried
+against an LSH index of the already-kept files, and the file is discarded
+when any candidate's estimated Jaccard similarity reaches the threshold
+(paper: 0.85).  Processing in corpus order keeps the *first* publication
+of each duplicate cluster, matching the intuition that the original is
+the canonical copy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Sequence, Tuple
+
+from repro.dedup.lsh import LSHIndex, choose_bands
+from repro.dedup.minhash import (
+    DEFAULT_NUM_PERMUTATIONS,
+    MinHasher,
+    estimate_jaccard,
+)
+
+DEFAULT_DEDUP_THRESHOLD = 0.85
+
+
+@dataclass
+class DedupResult:
+    """Outcome of a de-duplication run."""
+
+    kept_keys: List[Hashable] = field(default_factory=list)
+    #: discarded key -> the kept key it duplicated
+    removed: Dict[Hashable, Hashable] = field(default_factory=dict)
+    threshold: float = DEFAULT_DEDUP_THRESHOLD
+    candidate_checks: int = 0
+
+    @property
+    def kept_count(self) -> int:
+        return len(self.kept_keys)
+
+    @property
+    def removed_count(self) -> int:
+        return len(self.removed)
+
+    @property
+    def removal_fraction(self) -> float:
+        total = self.kept_count + self.removed_count
+        return self.removed_count / total if total else 0.0
+
+
+def deduplicate(
+    items: Sequence[Tuple[Hashable, str]],
+    threshold: float = DEFAULT_DEDUP_THRESHOLD,
+    num_permutations: int = DEFAULT_NUM_PERMUTATIONS,
+    seed: int = 0x5EED,
+) -> DedupResult:
+    """De-duplicate ``(key, text)`` pairs, keeping first occurrences.
+
+    Returns which keys were kept and, for each removed key, the retained
+    key it matched.
+    """
+    hasher = MinHasher(num_permutations=num_permutations, seed=seed)
+    bands, rows = choose_bands(num_permutations, threshold)
+    index = LSHIndex(bands, rows)
+    result = DedupResult(threshold=threshold)
+
+    for key, text in items:
+        signature = hasher.signature(text)
+        match = None
+        for candidate in index.candidates(signature):
+            result.candidate_checks += 1
+            if estimate_jaccard(signature, index.signature_of(candidate)) >= threshold:
+                match = candidate
+                break
+        if match is None:
+            index.insert(key, signature)
+            result.kept_keys.append(key)
+        else:
+            result.removed[key] = match
+    return result

@@ -1,0 +1,24 @@
+"""Exact Jaccard similarity between shingle sets."""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.dedup.shingle import DEFAULT_SHINGLE_WIDTH, shingles
+
+
+def jaccard_similarity(a: Set[str], b: Set[str]) -> float:
+    """|a ∩ b| / |a ∪ b|; two empty sets are defined as identical (1.0)."""
+    if not a and not b:
+        return 1.0
+    union = len(a | b)
+    if union == 0:
+        return 1.0
+    return len(a & b) / union
+
+
+def text_jaccard(
+    text_a: str, text_b: str, width: int = DEFAULT_SHINGLE_WIDTH
+) -> float:
+    """Exact Jaccard similarity between two texts' shingle sets."""
+    return jaccard_similarity(shingles(text_a, width), shingles(text_b, width))

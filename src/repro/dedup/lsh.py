@@ -1,0 +1,78 @@
+"""Banded Locality-Sensitive Hashing over MinHash signatures.
+
+Signatures are split into ``bands`` bands of ``rows`` components; two
+documents become candidates if any band hashes identically.  The
+probability a pair with Jaccard ``s`` becomes a candidate is
+``1 - (1 - s^rows)^bands``; :func:`choose_bands` picks the banding whose
+S-curve threshold ``(1/bands)^(1/rows)`` lands nearest the requested
+similarity threshold.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Hashable, Iterable, List, Set, Tuple
+
+from repro.dedup.minhash import MinHashSignature
+
+
+def choose_bands(num_permutations: int, threshold: float) -> Tuple[int, int]:
+    """Return (bands, rows) dividing ``num_permutations`` evenly, with the
+    LSH S-curve inflection closest to ``threshold``."""
+    if not 0.0 < threshold < 1.0:
+        raise ValueError("threshold must be in (0, 1)")
+    best: Tuple[float, int, int] = (float("inf"), num_permutations, 1)
+    for rows in range(1, num_permutations + 1):
+        if num_permutations % rows:
+            continue
+        bands = num_permutations // rows
+        inflection = (1.0 / bands) ** (1.0 / rows)
+        score = abs(inflection - threshold)
+        if score < best[0]:
+            best = (score, bands, rows)
+    return best[1], best[2]
+
+
+class LSHIndex:
+    """Insert-then-query candidate index over MinHash signatures."""
+
+    def __init__(self, bands: int, rows: int) -> None:
+        if bands < 1 or rows < 1:
+            raise ValueError("bands and rows must be positive")
+        self.bands = bands
+        self.rows = rows
+        self._buckets: List[Dict[bytes, List[Hashable]]] = [
+            defaultdict(list) for _ in range(bands)
+        ]
+        self._signatures: Dict[Hashable, MinHashSignature] = {}
+
+    def _band_keys(self, signature: MinHashSignature) -> Iterable[bytes]:
+        expected = self.bands * self.rows
+        if len(signature) != expected:
+            raise ValueError(
+                f"signature length {len(signature)} != bands*rows {expected}"
+            )
+        values = signature.values
+        for band in range(self.bands):
+            start = band * self.rows
+            yield values[start:start + self.rows].tobytes()
+
+    def insert(self, key: Hashable, signature: MinHashSignature) -> None:
+        if key in self._signatures:
+            raise KeyError(f"duplicate key {key!r}")
+        self._signatures[key] = signature
+        for band, band_key in enumerate(self._band_keys(signature)):
+            self._buckets[band][band_key].append(key)
+
+    def candidates(self, signature: MinHashSignature) -> Set[Hashable]:
+        """Keys sharing at least one band with ``signature``."""
+        found: Set[Hashable] = set()
+        for band, band_key in enumerate(self._band_keys(signature)):
+            found.update(self._buckets[band].get(band_key, ()))
+        return found
+
+    def __len__(self) -> int:
+        return len(self._signatures)
+
+    def signature_of(self, key: Hashable) -> MinHashSignature:
+        return self._signatures[key]

@@ -1,0 +1,53 @@
+"""Synthetic GitHub substrate.
+
+The paper's curation framework scrapes GitHub through its search API,
+working around the API's 1,000-results-per-query cap by granularizing
+queries over repository *creation-date ranges* and *license facets*
+(Sec. III-B2).  This package reproduces that environment offline:
+
+* :mod:`repro.github.licenses` — the license registry (the paper's set of
+  permissive + non-permissive OSS licenses, plus "no license");
+* :mod:`repro.github.world` — a deterministic generator for a population
+  of repositories with creation dates, licenses, Verilog and non-Verilog
+  files, heavy cross-repo duplication, vendored proprietary files, and a
+  sprinkling of syntactically broken files;
+* :mod:`repro.github.api` — a simulated search/clone API enforcing the
+  1k cap, pagination, and a search rate limit;
+* :mod:`repro.github.scraper` — the granularized scraper the curation
+  pipeline drives (date-range bisection + license facets + cloning).
+"""
+
+from repro.github.licenses import (
+    LICENSES,
+    License,
+    OPEN_SOURCE_LICENSE_KEYS,
+    PERMISSIVE_LICENSE_KEYS,
+    license_header,
+)
+from repro.github.world import (
+    GitHubWorld,
+    Repository,
+    RepoFile,
+    WorldConfig,
+    generate_world,
+)
+from repro.github.api import SearchResult, SimulatedGitHubAPI
+from repro.github.scraper import GitHubScraper, ScrapedFile, ScrapeReport
+
+__all__ = [
+    "License",
+    "LICENSES",
+    "OPEN_SOURCE_LICENSE_KEYS",
+    "PERMISSIVE_LICENSE_KEYS",
+    "license_header",
+    "GitHubWorld",
+    "Repository",
+    "RepoFile",
+    "WorldConfig",
+    "generate_world",
+    "SimulatedGitHubAPI",
+    "SearchResult",
+    "GitHubScraper",
+    "ScrapedFile",
+    "ScrapeReport",
+]

@@ -1,0 +1,173 @@
+"""Simulated GitHub search/clone API.
+
+Reproduces the three API behaviours the paper's framework must engineer
+around (Sec. III-B):
+
+* the search endpoint returns at most **1,000 results per query** (the
+  non-enterprise cap) — queries matching more repositories are truncated
+  and flagged ``incomplete``, so callers must granularize;
+* search supports the qualifiers the scraper uses: ``language:``,
+  ``license:``, and ``created:YYYY-MM-DD..YYYY-MM-DD`` ranges;
+* searches are rate-limited per simulated minute; exceeding the budget
+  raises :class:`~repro.errors.GitHubAPIError` with status 403, and the
+  caller must advance time (sleep) before retrying.
+
+Cloning a repository returns its file tree and costs no search quota.
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import GitHubAPIError
+from repro.github.world import GitHubWorld, Repository
+
+SEARCH_RESULT_CAP = 1000
+DEFAULT_SEARCHES_PER_MINUTE = 30
+
+
+@dataclass
+class SearchQuery:
+    """Parsed form of a repository search query string."""
+
+    language: Optional[str] = None
+    license_key: Optional[str] = None
+    created_from: Optional[datetime.date] = None
+    created_to: Optional[datetime.date] = None
+    has_license: Optional[bool] = None
+
+    @classmethod
+    def parse(cls, query: str) -> "SearchQuery":
+        parsed = cls()
+        for token in query.split():
+            if ":" not in token:
+                raise GitHubAPIError(f"unsupported bare search term {token!r}")
+            key, _, value = token.partition(":")
+            if key == "language":
+                parsed.language = value.lower()
+            elif key == "license":
+                if value == "none":
+                    parsed.has_license = False
+                else:
+                    parsed.license_key = value.lower()
+                    parsed.has_license = True
+            elif key == "created":
+                lo, sep, hi = value.partition("..")
+                if not sep:
+                    raise GitHubAPIError(
+                        "created: qualifier must be a range YYYY-MM-DD..YYYY-MM-DD"
+                    )
+                parsed.created_from = datetime.date.fromisoformat(lo)
+                parsed.created_to = datetime.date.fromisoformat(hi)
+            else:
+                raise GitHubAPIError(f"unsupported qualifier {key!r}")
+        return parsed
+
+    def matches(self, repo: Repository) -> bool:
+        if self.language is not None and self.language != "verilog":
+            return False
+        if self.language == "verilog" and not repo.verilog_files:
+            return False
+        if self.has_license is False and repo.license_key is not None:
+            return False
+        if self.license_key is not None and repo.license_key != self.license_key:
+            return False
+        if self.created_from is not None and repo.created_at < self.created_from:
+            return False
+        if self.created_to is not None and repo.created_at > self.created_to:
+            return False
+        return True
+
+
+@dataclass
+class SearchResult:
+    """One page of search results."""
+
+    total_count: int
+    items: List[str] = field(default_factory=list)  # repo full names
+    incomplete_results: bool = False
+
+
+@dataclass
+class APIStats:
+    """Accounting for rate-limit behaviour tests and the scrape report."""
+
+    searches: int = 0
+    clones: int = 0
+    rate_limit_hits: int = 0
+    minutes_elapsed: int = 0
+
+
+class SimulatedGitHubAPI:
+    """Search + clone API over a :class:`GitHubWorld`.
+
+    Time is simulated: each search consumes quota within the current
+    minute; :meth:`sleep_minute` advances the clock and refills quota.
+    """
+
+    def __init__(
+        self,
+        world: GitHubWorld,
+        searches_per_minute: int = DEFAULT_SEARCHES_PER_MINUTE,
+    ) -> None:
+        self._world = world
+        self._per_minute = searches_per_minute
+        self._remaining = searches_per_minute
+        self.stats = APIStats()
+        # Deterministic result ordering: by creation date, then name.
+        self._ordered = sorted(
+            world.repos, key=lambda r: (r.created_at, r.full_name)
+        )
+        self._by_name: Dict[str, Repository] = {
+            r.full_name: r for r in world.repos
+        }
+
+    # -- rate limiting ---------------------------------------------------
+
+    @property
+    def remaining_quota(self) -> int:
+        return self._remaining
+
+    def sleep_minute(self) -> None:
+        """Advance simulated time by one minute, refilling search quota."""
+        self.stats.minutes_elapsed += 1
+        self._remaining = self._per_minute
+
+    def _consume_search(self) -> None:
+        if self._remaining <= 0:
+            self.stats.rate_limit_hits += 1
+            raise GitHubAPIError("API rate limit exceeded for search", status=403)
+        self._remaining -= 1
+        self.stats.searches += 1
+
+    # -- endpoints ----------------------------------------------------------
+
+    def search_repositories(
+        self, query: str, page: int = 1, per_page: int = 100
+    ) -> SearchResult:
+        """Search repositories; results capped at :data:`SEARCH_RESULT_CAP`."""
+        if page < 1:
+            raise GitHubAPIError("page numbers start at 1")
+        per_page = max(1, min(per_page, 100))
+        self._consume_search()
+        parsed = SearchQuery.parse(query)
+        matches = [r.full_name for r in self._ordered if parsed.matches(r)]
+        total = len(matches)
+        visible = matches[:SEARCH_RESULT_CAP]
+        start = (page - 1) * per_page
+        items = visible[start:start + per_page]
+        return SearchResult(
+            total_count=total,
+            items=items,
+            incomplete_results=total > SEARCH_RESULT_CAP,
+        )
+
+    def clone(self, full_name: str) -> Repository:
+        """Return the full repository (file tree included)."""
+        repo = self._by_name.get(full_name)
+        if repo is None:
+            raise GitHubAPIError(f"repository {full_name!r} not found", status=404)
+        self.stats.clones += 1
+        return repo

@@ -1,0 +1,176 @@
+"""License registry.
+
+The paper's curation framework accepts repositories under a fixed set of
+open-source licenses — both permissive and non-permissive (Sec. III-C2) —
+and drops unlicensed repositories entirely because they "fall into a gray
+area in which they could potentially be part of a copyrighted code-base".
+
+Company names used for proprietary headers are fictional stand-ins for the
+real vendors the paper found (Intel, Xilinx): the synthetic corpus must
+exercise the same filter logic without reproducing real proprietary text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class License:
+    """One repository license recognized by the simulated GitHub."""
+
+    key: str           # the API's license qualifier value, e.g. "mit"
+    name: str
+    permissive: bool   # permissive vs copyleft (both are acceptable)
+    osi_approved: bool
+
+
+#: The paper's accepted license set (Sec. III-C2).
+LICENSES: Dict[str, License] = {
+    lic.key: lic
+    for lic in [
+        License("mit", "MIT License", True, True),
+        License("apache-2.0", "Apache License 2.0", True, True),
+        License("gpl-2.0", "GNU General Public License v2.0", False, True),
+        License("gpl-3.0", "GNU General Public License v3.0", False, True),
+        License("lgpl-2.1", "GNU Lesser General Public License v2.1", False, True),
+        License("lgpl-3.0", "GNU Lesser General Public License v3.0", False, True),
+        License("mpl-2.0", "Mozilla Public License 2.0", False, True),
+        License("cc0-1.0", "Creative Commons Zero v1.0 Universal", True, False),
+        License("cc-by-4.0", "Creative Commons Attribution 4.0", True, False),
+        License("epl-2.0", "Eclipse Public License 2.0", False, True),
+        License("bsd-2-clause", 'BSD 2-Clause "Simplified" License', True, True),
+        License("bsd-3-clause", 'BSD 3-Clause "New" License', True, True),
+    ]
+}
+
+OPEN_SOURCE_LICENSE_KEYS: List[str] = list(LICENSES.keys())
+PERMISSIVE_LICENSE_KEYS: List[str] = [
+    key for key, lic in LICENSES.items() if lic.permissive
+]
+
+_HEADER_TEMPLATES: Dict[str, str] = {
+    "mit": (
+        "// SPDX-License-Identifier: MIT\n"
+        "// Copyright (c) {year} {author}\n"
+        "// Permission is hereby granted, free of charge, to any person\n"
+        "// obtaining a copy of this software, to deal in the Software\n"
+        "// without restriction.\n"
+    ),
+    "apache-2.0": (
+        "// SPDX-License-Identifier: Apache-2.0\n"
+        "// Copyright {year} {author}\n"
+        "// Licensed under the Apache License, Version 2.0 (the \"License\");\n"
+        "// you may not use this file except in compliance with the License.\n"
+    ),
+    "gpl-2.0": (
+        "// SPDX-License-Identifier: GPL-2.0-only\n"
+        "// Copyright (C) {year} {author}\n"
+        "// This program is free software; you can redistribute it and/or\n"
+        "// modify it under the terms of the GNU General Public License v2.\n"
+    ),
+    "gpl-3.0": (
+        "// SPDX-License-Identifier: GPL-3.0-or-later\n"
+        "// Copyright (C) {year} {author}\n"
+        "// This program is free software: you can redistribute it and/or\n"
+        "// modify it under the terms of the GNU GPL as published by the FSF.\n"
+    ),
+    "lgpl-2.1": (
+        "// SPDX-License-Identifier: LGPL-2.1-or-later\n"
+        "// Copyright (C) {year} {author}\n"
+        "// This library is free software under the GNU Lesser GPL v2.1.\n"
+    ),
+    "lgpl-3.0": (
+        "// SPDX-License-Identifier: LGPL-3.0-or-later\n"
+        "// Copyright (C) {year} {author}\n"
+        "// This library is free software under the GNU Lesser GPL v3.\n"
+    ),
+    "mpl-2.0": (
+        "// SPDX-License-Identifier: MPL-2.0\n"
+        "// Copyright (c) {year} {author}\n"
+        "// This Source Code Form is subject to the terms of the Mozilla\n"
+        "// Public License, v. 2.0.\n"
+    ),
+    "cc0-1.0": (
+        "// SPDX-License-Identifier: CC0-1.0\n"
+        "// Written in {year} by {author}\n"
+        "// To the extent possible under law, the author has dedicated this\n"
+        "// work to the public domain.\n"
+    ),
+    "cc-by-4.0": (
+        "// SPDX-License-Identifier: CC-BY-4.0\n"
+        "// Copyright (c) {year} {author}\n"
+        "// This work is licensed under Creative Commons Attribution 4.0.\n"
+    ),
+    "epl-2.0": (
+        "// SPDX-License-Identifier: EPL-2.0\n"
+        "// Copyright (c) {year} {author}\n"
+        "// This program is made available under the Eclipse Public License 2.0.\n"
+    ),
+    "bsd-2-clause": (
+        "// SPDX-License-Identifier: BSD-2-Clause\n"
+        "// Copyright (c) {year}, {author}\n"
+        "// Redistribution and use in source and binary forms are permitted.\n"
+    ),
+    "bsd-3-clause": (
+        "// SPDX-License-Identifier: BSD-3-Clause\n"
+        "// Copyright (c) {year}, {author}\n"
+        "// Redistribution and use in source and binary forms, with or\n"
+        "// without modification, are permitted.\n"
+    ),
+}
+
+#: Fictional silicon vendors used for proprietary file headers.
+PROPRIETARY_COMPANIES = [
+    "Quartzline Semiconductor",
+    "Veridian Microsystems",
+    "Apex Silicon Works",
+    "NorthGate FPGA Corp",
+    "Helix Integrated Devices",
+    "Cobalt Logic Inc.",
+]
+
+#: Header templates that must trip the file-level copyright filter.  They
+#: combine the keyword families the paper lists: "proprietary",
+#: "confidential", "all rights reserved".
+PROPRIETARY_HEADER_TEMPLATES = [
+    (
+        "// Copyright (c) {year} {company}. All rights reserved.\n"
+        "// This file contains PROPRIETARY and CONFIDENTIAL information of\n"
+        "// {company} and may not be disclosed or reproduced without the\n"
+        "// express written consent of {company}.\n"
+    ),
+    (
+        "/*\n"
+        " * {company} CONFIDENTIAL\n"
+        " * Copyright {year} {company}\n"
+        " * All Rights Reserved.\n"
+        " * NOTICE: All information contained herein is, and remains the\n"
+        " * property of {company}. Unauthorized copying of this file is\n"
+        " * strictly prohibited.\n"
+        " */\n"
+    ),
+    (
+        "// (c) {year} {company}. This design is proprietary to {company}.\n"
+        "// Do not distribute. License key: {key}\n"
+    ),
+]
+
+
+def license_header(key: str, author: str, year: int) -> str:
+    """Render the comment header for an open-source license."""
+    template = _HEADER_TEMPLATES.get(key)
+    if template is None:
+        raise KeyError(f"no header template for license {key!r}")
+    return template.format(author=author, year=year)
+
+
+def proprietary_header(
+    template_index: int, company: str, year: int, key: Optional[str] = None
+) -> str:
+    """Render a proprietary/confidential header (trips the filter)."""
+    template = PROPRIETARY_HEADER_TEMPLATES[
+        template_index % len(PROPRIETARY_HEADER_TEMPLATES)
+    ]
+    return template.format(company=company, year=year, key=key or "REDACTED")

@@ -1,0 +1,41 @@
+"""Language-model substrate.
+
+The paper fine-tunes Llama-3.1-8B-Instruct on FreeSet via continual
+pre-training (Sec. III-E).  This package substitutes a from-scratch
+statistical language model with the properties the paper's experiments
+actually measure:
+
+* **memorization** — a backoff n-gram model trained on a corpus will
+  regurgitate distinctive training sequences when prompted with their
+  prefixes, which is precisely the mechanism behind the copyright
+  benchmark (Fig. 3);
+* **domain competence** — exposure to Verilog idioms measurably improves
+  the model's ability to complete module bodies, which drives the
+  VerilogEval pass@k improvements (Table II);
+* **temperature-controlled diversity** — sampling spreads over observed
+  continuations, so pass@10 > pass@1 exactly as in the paper's protocol.
+
+Components: a byte-fallback BPE tokenizer (:mod:`repro.llm.tokenizer`), a
+count-table n-gram LM with hashed contexts (:mod:`repro.llm.ngram`), a
+temperature sampler with stop-string support (:mod:`repro.llm.sampler`),
+and the training facade (:mod:`repro.llm.model`), where *continual
+pre-training is literally a weighted merge of count tables* — the n-gram
+analogue of additional gradient epochs on new data.
+"""
+
+from repro.llm.tokenizer import BPETokenizer, train_tokenizer
+from repro.llm.ngram import NGramCounts, NGramLM, DEFAULT_ORDERS
+from repro.llm.sampler import GenerationConfig, Sampler
+from repro.llm.model import LanguageModel, TrainingReport
+
+__all__ = [
+    "BPETokenizer",
+    "train_tokenizer",
+    "NGramCounts",
+    "NGramLM",
+    "DEFAULT_ORDERS",
+    "GenerationConfig",
+    "Sampler",
+    "LanguageModel",
+    "TrainingReport",
+]

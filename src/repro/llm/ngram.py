@@ -1,0 +1,246 @@
+"""Backoff n-gram language model with hashed contexts and numpy tables.
+
+The model keeps, for each order ``m`` in :data:`DEFAULT_ORDERS`, a compact
+count table mapping *hashed* length-``m`` contexts to observed next-token
+distributions.  Tables are columnar numpy arrays (sorted context hash,
+CSR offsets, next-token ids, counts), so memory is ~16 bytes per distinct
+(context, next-token) pair and merging two tables (continual pre-training)
+is a vectorized concatenate + re-aggregate.
+
+Context hashing uses a polynomial rolling hash in uint64 wraparound
+arithmetic; collisions between distinct contexts are possible but
+astronomically unlikely at corpus scale and only perturb one
+distribution if they occur.
+
+Prediction uses *longest-match backoff*: the distribution comes from the
+highest order whose context was observed (optionally requiring a minimum
+evidence count).  This is what produces both memorization (training-file
+prefixes have deterministic continuations at high orders) and graceful
+degradation on novel prompts (fall back to generic code statistics).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import TrainingError
+
+#: Orders (context lengths) tracked by the model, highest first.  Order 0
+#: is the unigram fallback, so prediction always succeeds.  The high top
+#: order makes continuations of distinctive training text near-
+#: deterministic (memorization), while the intermediate orders provide
+#: graceful backoff on novel prompts.
+DEFAULT_ORDERS: Tuple[int, ...] = (16, 10, 6, 3, 1, 0)
+
+_HASH_MULT = np.uint64(0x9E3779B97F4A7C15)
+_HASH_SEED = np.uint64(0x51_7CC1B727220A95)
+
+
+def _hash_contexts(tokens: np.ndarray, order: int) -> np.ndarray:
+    """Rolling polynomial hash of every length-``order`` window.
+
+    Returns an array ``h`` where ``h[i]`` hashes ``tokens[i-order:i]`` for
+    ``i in [order, len(tokens)]`` — i.e. the context *ending just before*
+    position ``i``; the array is aligned so entry ``j`` corresponds to
+    next-token position ``j + order``.
+    """
+    n = len(tokens)
+    if order == 0:
+        return np.full(n, _HASH_SEED, dtype=np.uint64)
+    if n < order:
+        return np.empty(0, dtype=np.uint64)
+    acc = np.full(n - order + 1, _HASH_SEED, dtype=np.uint64)
+    with np.errstate(over="ignore"):
+        for j in range(order):
+            acc = acc * _HASH_MULT + tokens[j:n - order + 1 + j].astype(np.uint64)
+    # acc[i] hashes tokens[i : i+order]; contexts for next positions
+    # order..n are acc[0 : n-order+1].
+    return acc
+
+
+def hash_context(context: Sequence[int], order: int) -> int:
+    """Hash the last ``order`` tokens of ``context`` (python-side)."""
+    acc = int(_HASH_SEED)
+    if order > 0:
+        window = list(context)[-order:]
+        if len(window) < order:
+            raise ValueError("context shorter than requested order")
+        for token in window:
+            acc = ((acc * int(_HASH_MULT)) + int(token)) & 0xFFFFFFFFFFFFFFFF
+    return acc
+
+
+@dataclass
+class _OrderTable:
+    """CSR count table for one order."""
+
+    keys: np.ndarray      # sorted unique context hashes, uint64
+    offsets: np.ndarray   # int64, len(keys)+1
+    next_tokens: np.ndarray  # int32
+    counts: np.ndarray    # float64 (weighted merges)
+
+    @classmethod
+    def empty(cls) -> "_OrderTable":
+        return cls(
+            keys=np.empty(0, dtype=np.uint64),
+            offsets=np.zeros(1, dtype=np.int64),
+            next_tokens=np.empty(0, dtype=np.int32),
+            counts=np.empty(0, dtype=np.float64),
+        )
+
+    @classmethod
+    def from_pairs(
+        cls, ctx_hashes: np.ndarray, next_tokens: np.ndarray, weights: np.ndarray
+    ) -> "_OrderTable":
+        if len(ctx_hashes) == 0:
+            return cls.empty()
+        order_idx = np.lexsort((next_tokens, ctx_hashes))
+        ctx = ctx_hashes[order_idx]
+        nxt = next_tokens[order_idx].astype(np.int32)
+        wts = weights[order_idx].astype(np.float64)
+        boundary = np.empty(len(ctx), dtype=bool)
+        boundary[0] = True
+        boundary[1:] = (ctx[1:] != ctx[:-1]) | (nxt[1:] != nxt[:-1])
+        starts = np.flatnonzero(boundary)
+        agg_counts = np.add.reduceat(wts, starts)
+        agg_ctx = ctx[starts]
+        agg_next = nxt[starts]
+        key_boundary = np.empty(len(agg_ctx), dtype=bool)
+        key_boundary[0] = True
+        key_boundary[1:] = agg_ctx[1:] != agg_ctx[:-1]
+        key_starts = np.flatnonzero(key_boundary)
+        keys = agg_ctx[key_starts]
+        offsets = np.empty(len(keys) + 1, dtype=np.int64)
+        offsets[:-1] = key_starts
+        offsets[-1] = len(agg_ctx)
+        return cls(
+            keys=keys, offsets=offsets, next_tokens=agg_next, counts=agg_counts
+        )
+
+    def lookup(self, ctx_hash: int) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        """(next_tokens, counts) for a context hash, or None."""
+        if len(self.keys) == 0:
+            return None
+        pos = int(np.searchsorted(self.keys, np.uint64(ctx_hash)))
+        if pos >= len(self.keys) or self.keys[pos] != np.uint64(ctx_hash):
+            return None
+        lo, hi = int(self.offsets[pos]), int(self.offsets[pos + 1])
+        return self.next_tokens[lo:hi], self.counts[lo:hi]
+
+    def merge(self, other: "_OrderTable", weight: float) -> "_OrderTable":
+        """Counts of self plus ``weight`` x counts of other."""
+        if len(other.next_tokens) == 0:
+            return self
+        ctx_self = np.repeat(self.keys, np.diff(self.offsets))
+        ctx_other = np.repeat(other.keys, np.diff(other.offsets))
+        return _OrderTable.from_pairs(
+            np.concatenate([ctx_self, ctx_other]),
+            np.concatenate([self.next_tokens, other.next_tokens]),
+            np.concatenate([self.counts, other.counts * weight]),
+        )
+
+    @property
+    def pair_count(self) -> int:
+        return len(self.next_tokens)
+
+
+@dataclass
+class NGramCounts:
+    """Count tables for all orders (the model's trainable state)."""
+
+    orders: Tuple[int, ...] = DEFAULT_ORDERS
+    tables: Dict[int, _OrderTable] = field(default_factory=dict)
+    tokens_trained: float = 0.0
+
+    def __post_init__(self) -> None:
+        if sorted(self.orders, reverse=True) != list(self.orders):
+            raise TrainingError("orders must be strictly decreasing")
+        if 0 not in self.orders:
+            raise TrainingError("order 0 (unigram fallback) is required")
+        for order in self.orders:
+            self.tables.setdefault(order, _OrderTable.empty())
+
+    @classmethod
+    def train(
+        cls,
+        token_sequences: Sequence[Sequence[int]],
+        orders: Tuple[int, ...] = DEFAULT_ORDERS,
+        weight: float = 1.0,
+    ) -> "NGramCounts":
+        """Count n-grams from token sequences (each sequence = one file;
+        n-grams never cross file boundaries)."""
+        counts = cls(orders=orders)
+        per_order_ctx: Dict[int, List[np.ndarray]] = {o: [] for o in orders}
+        per_order_next: Dict[int, List[np.ndarray]] = {o: [] for o in orders}
+        total = 0
+        for sequence in token_sequences:
+            tokens = np.asarray(sequence, dtype=np.int64)
+            total += len(tokens)
+            for order in orders:
+                if len(tokens) <= order:
+                    continue
+                hashes = _hash_contexts(tokens, order)
+                per_order_ctx[order].append(hashes[: len(tokens) - order])
+                per_order_next[order].append(tokens[order:].astype(np.int32))
+        for order in orders:
+            if not per_order_ctx[order]:
+                continue
+            ctx = np.concatenate(per_order_ctx[order])
+            nxt = np.concatenate(per_order_next[order])
+            counts.tables[order] = _OrderTable.from_pairs(
+                ctx, nxt, np.full(len(ctx), weight, dtype=np.float64)
+            )
+        counts.tokens_trained = float(total) * weight
+        return counts
+
+    def merged_with(self, other: "NGramCounts", weight: float = 1.0) -> "NGramCounts":
+        """New counts = self + weight x other (continual pre-training)."""
+        if self.orders != other.orders:
+            raise TrainingError("cannot merge models with different orders")
+        merged = NGramCounts(orders=self.orders)
+        for order in self.orders:
+            merged.tables[order] = self.tables[order].merge(
+                other.tables[order], weight
+            )
+        merged.tokens_trained = self.tokens_trained + other.tokens_trained * weight
+        return merged
+
+    @property
+    def pair_count(self) -> int:
+        return sum(t.pair_count for t in self.tables.values())
+
+
+class NGramLM:
+    """Longest-match backoff predictor over :class:`NGramCounts`."""
+
+    def __init__(self, counts: NGramCounts, min_evidence: float = 1.0) -> None:
+        self.counts = counts
+        self.min_evidence = min_evidence
+
+    def distribution(
+        self, context: Sequence[int]
+    ) -> Tuple[np.ndarray, np.ndarray, int]:
+        """(next_tokens, counts, order_used) for the longest matching order.
+
+        Falls through orders whose total evidence is below
+        ``min_evidence``; order 0 always matches (if anything was trained).
+        """
+        for order in self.counts.orders:
+            if order > len(context):
+                continue
+            table = self.counts.tables[order]
+            hit = table.lookup(hash_context(context, order))
+            if hit is None:
+                continue
+            next_tokens, weights = hit
+            if order > 0 and float(weights.sum()) < self.min_evidence:
+                continue
+            return next_tokens, weights, order
+        raise TrainingError("model has no training data (empty unigram table)")
+
+    def greedy_next(self, context: Sequence[int]) -> int:
+        next_tokens, weights, _ = self.distribution(context)
+        return int(next_tokens[int(np.argmax(weights))])

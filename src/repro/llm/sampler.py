@@ -1,0 +1,105 @@
+"""Temperature sampling with stop-string support.
+
+Implements the paper's inference protocol (Sec. III-E2): bounded token
+budget, temperature-controlled sampling, generation terminated at the
+first ``endmodule``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.llm.ngram import NGramLM
+from repro.llm.tokenizer import BPETokenizer
+from repro.utils.rng import DeterministicRNG
+
+
+@dataclass
+class GenerationConfig:
+    """Decoding parameters (defaults mirror the paper's setup)."""
+
+    max_new_tokens: int = 2048
+    temperature: float = 0.8
+    stop_strings: Sequence[str] = field(default_factory=lambda: ("endmodule",))
+    #: include the stop string in the returned text (the paper's harness
+    #: stops *at* the first endmodule, keeping it, so the module closes)
+    include_stop: bool = True
+
+
+class Sampler:
+    """Couples a tokenizer and an n-gram LM into a text generator."""
+
+    def __init__(self, tokenizer: BPETokenizer, lm: NGramLM) -> None:
+        self.tokenizer = tokenizer
+        self.lm = lm
+
+    def _sample_token(
+        self,
+        context: List[int],
+        temperature: float,
+        rng: DeterministicRNG,
+    ) -> int:
+        next_tokens, weights, _ = self.lm.distribution(context)
+        if len(next_tokens) == 1:
+            return int(next_tokens[0])
+        if temperature <= 1e-6:
+            return int(next_tokens[int(np.argmax(weights))])
+        # p_i proportional to count_i^(1/T)  (softmax of log-counts / T).
+        logw = np.log(weights.astype(np.float64)) / temperature
+        logw -= logw.max()
+        probs = np.exp(logw)
+        probs /= probs.sum()
+        pick = rng.random()
+        return int(next_tokens[int(np.searchsorted(np.cumsum(probs), pick))])
+
+    def generate(
+        self,
+        prompt: str,
+        config: Optional[GenerationConfig] = None,
+        seed: int = 0,
+    ) -> str:
+        """Generate a completion for ``prompt`` (completion text only)."""
+        config = config or GenerationConfig()
+        rng = DeterministicRNG(seed)
+        context = self.tokenizer.encode(prompt)
+        generated: List[int] = []
+        # BPE decoding is a pure byte-table concatenation, so the text can
+        # be built incrementally token by token.
+        text_parts: List[str] = []
+        text_len = 0
+        max_stop = max((len(s) for s in config.stop_strings), default=0)
+        for _ in range(config.max_new_tokens):
+            token = self._sample_token(context + generated, config.temperature, rng)
+            generated.append(token)
+            piece = self.tokenizer.decode([token])
+            text_parts.append(piece)
+            text_len += len(piece)
+            if max_stop:
+                # Only the tail can newly contain a stop string.
+                tail = "".join(text_parts[-(max_stop + len(piece)):])
+                window = tail[-(max_stop + len(piece)):]
+                for stop in config.stop_strings:
+                    pos = window.find(stop)
+                    if pos >= 0:
+                        text = "".join(text_parts)
+                        end = text.find(stop) + (
+                            len(stop) if config.include_stop else 0
+                        )
+                        return text[:end]
+        return "".join(text_parts)
+
+    def generate_batch(
+        self,
+        prompt: str,
+        n: int,
+        config: Optional[GenerationConfig] = None,
+        seed: int = 0,
+    ) -> List[str]:
+        """n independent samples for the same prompt (pass@k protocol)."""
+        return [
+            self.generate(prompt, config, seed=DeterministicRNG(seed).fork(i).seed)
+            for i in range(n)
+        ]

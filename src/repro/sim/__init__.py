@@ -1,0 +1,46 @@
+"""Cycle-based two-state RTL simulator.
+
+This package substitutes for the commercial/open-source simulation used by
+VerilogEval to decide functional correctness.  It elaborates a parsed
+design (resolving parameters and flattening hierarchy), then simulates it
+with synchronous semantics:
+
+* continuous assignments and combinational ``always`` blocks settle to a
+  fixpoint after every input or state change;
+* edge-triggered ``always`` blocks execute on clock edges with nonblocking
+  assignments committed atomically (async resets are honoured via edge
+  detection on every input change);
+* all state is two-valued — registers start at 0 and designs are expected
+  to be reset-initialized, which holds for the benchmark problems.
+
+The public entry points are :func:`elaborate` and the
+:class:`~repro.sim.testbench.Testbench` /
+:func:`~repro.sim.testbench.equivalence_check` harness.
+"""
+
+from repro.sim.values import mask, to_signed, from_signed, bit_length_for
+from repro.sim.elaborate import Design, Signal, elaborate
+from repro.sim.simulator import Simulator
+from repro.sim.testbench import (
+    EquivalenceResult,
+    StimulusVector,
+    Testbench,
+    equivalence_check,
+    random_stimulus,
+)
+
+__all__ = [
+    "mask",
+    "to_signed",
+    "from_signed",
+    "bit_length_for",
+    "Design",
+    "Signal",
+    "elaborate",
+    "Simulator",
+    "Testbench",
+    "StimulusVector",
+    "EquivalenceResult",
+    "equivalence_check",
+    "random_stimulus",
+]

@@ -1,0 +1,396 @@
+"""Expression evaluation with Verilog width-context semantics.
+
+Evaluation is two-pass per expression, following the IEEE 1364 sizing
+rules for the supported subset:
+
+1. :func:`self_width` computes the self-determined width of an expression.
+2. :func:`eval_expr` evaluates under a *context width* — the max of the
+   expression's self-determined width and the width imposed by its
+   surroundings (e.g. the LHS of an assignment).  Context-determined
+   operands (arithmetic, bitwise, ternary branches) inherit that context;
+   self-determined positions (shift amounts, concat parts, indices) do not.
+
+This gets the cases that matter for RTL right: ``{cout, sum} = a + b``
+captures the carry, ``count + 1`` wraps at the register width, and
+comparisons are performed at the widest operand width.
+
+Signedness: comparisons and right shifts are signed only when *every*
+context-determined operand is signed (via declaration or ``$signed``),
+matching the Verilog rule.  Division by zero and modulo by zero yield 0
+(two-state stand-in for X).
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.errors import SimulationError
+from repro.verilog import ast
+from repro.sim.values import (
+    mask,
+    reduce_and,
+    reduce_or,
+    reduce_xor,
+    to_signed,
+)
+
+
+class Scope(Protocol):
+    """Name-resolution interface the evaluator needs."""
+
+    def read(self, name: str) -> int: ...
+
+    def width_of(self, name: str) -> int: ...
+
+    def is_signed(self, name: str) -> bool: ...
+
+    def read_mem(self, name: str, index: int) -> int: ...
+
+    def mem_width(self, name: str) -> int: ...
+
+    def is_mem(self, name: str) -> bool: ...
+
+
+_COMPARISONS = frozenset(["==", "!=", "===", "!==", "<", "<=", ">", ">="])
+_LOGICAL = frozenset(["&&", "||"])
+_SHIFTS = frozenset(["<<", ">>", "<<<", ">>>"])
+
+
+def self_width(expr: ast.Expr, scope: Scope) -> int:
+    """Self-determined width of ``expr`` per the Verilog sizing rules."""
+    if isinstance(expr, ast.Number):
+        return expr.width if expr.width is not None else 32
+    if isinstance(expr, ast.StringLiteral):
+        return max(8 * len(expr.value), 8)
+    if isinstance(expr, ast.Identifier):
+        if scope.is_mem(expr.name):
+            raise SimulationError(
+                f"memory {expr.name!r} used without an index"
+            )
+        return scope.width_of(expr.name)
+    if isinstance(expr, ast.Unary):
+        if expr.op in ("!", "&", "|", "^", "~&", "~|", "~^"):
+            return 1
+        return self_width(expr.operand, scope)
+    if isinstance(expr, ast.Binary):
+        if expr.op in _COMPARISONS or expr.op in _LOGICAL:
+            return 1
+        if expr.op in _SHIFTS or expr.op == "**":
+            return self_width(expr.lhs, scope)
+        return max(self_width(expr.lhs, scope), self_width(expr.rhs, scope))
+    if isinstance(expr, ast.Ternary):
+        return max(self_width(expr.then, scope), self_width(expr.other, scope))
+    if isinstance(expr, ast.Concat):
+        return sum(self_width(p, scope) for p in expr.parts)
+    if isinstance(expr, ast.Repeat):
+        count = eval_const_int(expr.count, scope)
+        return count * self_width(expr.inner, scope)
+    if isinstance(expr, ast.Index):
+        name = _base_name(expr.base)
+        if scope.is_mem(name):
+            return scope.mem_width(name)
+        return 1
+    if isinstance(expr, ast.PartSelect):
+        msb = eval_const_int(expr.msb, scope)
+        lsb = eval_const_int(expr.lsb, scope)
+        return abs(msb - lsb) + 1
+    if isinstance(expr, ast.IndexedPartSelect):
+        return eval_const_int(expr.width, scope)
+    if isinstance(expr, ast.SystemCall):
+        if expr.name in ("$signed", "$unsigned") and expr.args:
+            return self_width(expr.args[0], scope)
+        return 32
+    raise SimulationError(f"cannot size expression {type(expr).__name__}")
+
+
+def is_signed_expr(expr: ast.Expr, scope: Scope) -> bool:
+    """Whether ``expr`` is signed under Verilog's propagation rules."""
+    if isinstance(expr, ast.Number):
+        return expr.signed
+    if isinstance(expr, ast.Identifier):
+        return scope.is_signed(expr.name)
+    if isinstance(expr, ast.Unary):
+        if expr.op in ("+", "-", "~"):
+            return is_signed_expr(expr.operand, scope)
+        return False
+    if isinstance(expr, ast.Binary):
+        if expr.op in _COMPARISONS or expr.op in _LOGICAL:
+            return False
+        if expr.op in _SHIFTS:
+            return is_signed_expr(expr.lhs, scope)
+        return is_signed_expr(expr.lhs, scope) and is_signed_expr(expr.rhs, scope)
+    if isinstance(expr, ast.Ternary):
+        return is_signed_expr(expr.then, scope) and is_signed_expr(expr.other, scope)
+    if isinstance(expr, ast.SystemCall):
+        return expr.name == "$signed"
+    # Concats, repeats and selects are always unsigned.
+    return False
+
+
+def _base_name(expr: ast.Expr) -> str:
+    if isinstance(expr, ast.Identifier):
+        return expr.name
+    raise SimulationError("only simple identifiers may be indexed/selected")
+
+
+def eval_expr(expr: ast.Expr, scope: Scope, context_width: int = 0) -> int:
+    """Evaluate ``expr`` to a masked unsigned int.
+
+    ``context_width`` is the width imposed by the surrounding context (0
+    means purely self-determined).  The effective evaluation width is
+    ``max(context_width, self_width(expr))``.
+    """
+    width = max(context_width, self_width(expr, scope))
+    return _eval(expr, scope, width)
+
+
+def _operand(expr: ast.Expr, scope: Scope, width: int) -> int:
+    """Evaluate a context-determined operand at ``width``, sign-extending
+    signed operands up to the context width."""
+    own = self_width(expr, scope)
+    value = _eval(expr, scope, max(own, width))
+    if width > own and is_signed_expr(expr, scope):
+        value = mask(to_signed(value, own), width)
+    elif width > own:
+        value = mask(value, width)
+    return value
+
+
+def _eval(expr: ast.Expr, scope: Scope, width: int) -> int:
+    if isinstance(expr, ast.Number):
+        return mask(expr.value, max(width, 1))
+    if isinstance(expr, ast.StringLiteral):
+        value = 0
+        for ch in expr.value.encode("utf-8", "replace"):
+            value = (value << 8) | ch
+        return mask(value, max(width, 8))
+    if isinstance(expr, ast.Identifier):
+        return mask(scope.read(expr.name), scope.width_of(expr.name))
+    if isinstance(expr, ast.Unary):
+        return _eval_unary(expr, scope, width)
+    if isinstance(expr, ast.Binary):
+        return _eval_binary(expr, scope, width)
+    if isinstance(expr, ast.Ternary):
+        cond = eval_expr(expr.cond, scope)
+        branch = expr.then if cond != 0 else expr.other
+        return _operand(branch, scope, width)
+    if isinstance(expr, ast.Concat):
+        out = 0
+        for part in expr.parts:
+            part_width = self_width(part, scope)
+            out = (out << part_width) | _eval(part, scope, part_width)
+        return mask(out, max(width, 1))
+    if isinstance(expr, ast.Repeat):
+        times = eval_const_int(expr.count, scope)
+        inner_width = self_width(expr.inner, scope)
+        inner = _eval(expr.inner, scope, inner_width)
+        out = 0
+        for _ in range(times):
+            out = (out << inner_width) | inner
+        return mask(out, max(width, 1))
+    if isinstance(expr, ast.Index):
+        return _eval_index(expr, scope)
+    if isinstance(expr, ast.PartSelect):
+        return _eval_part_select(expr, scope)
+    if isinstance(expr, ast.IndexedPartSelect):
+        return _eval_indexed_part_select(expr, scope)
+    if isinstance(expr, ast.SystemCall):
+        return _eval_system_call(expr, scope, width)
+    raise SimulationError(f"cannot evaluate {type(expr).__name__}")
+
+
+def _eval_unary(expr: ast.Unary, scope: Scope, width: int) -> int:
+    op = expr.op
+    if op in ("&", "~&", "|", "~|", "^", "~^"):
+        operand_width = self_width(expr.operand, scope)
+        value = _eval(expr.operand, scope, operand_width)
+        if op in ("&", "~&"):
+            out = reduce_and(value, operand_width)
+        elif op in ("|", "~|"):
+            out = reduce_or(value, operand_width)
+        else:
+            out = reduce_xor(value, operand_width)
+        if op.startswith("~"):
+            out ^= 1
+        return out
+    if op == "!":
+        return 0 if eval_expr(expr.operand, scope) != 0 else 1
+    value = _operand(expr.operand, scope, width)
+    if op == "~":
+        return mask(~value, width)
+    if op == "-":
+        return mask(-value, width)
+    if op == "+":
+        return value
+    raise SimulationError(f"unsupported unary operator {op!r}")
+
+
+def _eval_binary(expr: ast.Binary, scope: Scope, width: int) -> int:
+    op = expr.op
+    if op in _LOGICAL:
+        lhs = eval_expr(expr.lhs, scope) != 0
+        if op == "&&":
+            return 1 if (lhs and eval_expr(expr.rhs, scope) != 0) else 0
+        return 1 if (lhs or eval_expr(expr.rhs, scope) != 0) else 0
+    if op in _COMPARISONS:
+        cmp_width = max(
+            self_width(expr.lhs, scope), self_width(expr.rhs, scope)
+        )
+        signed = is_signed_expr(expr.lhs, scope) and is_signed_expr(
+            expr.rhs, scope
+        )
+        lhs = _operand(expr.lhs, scope, cmp_width)
+        rhs = _operand(expr.rhs, scope, cmp_width)
+        if signed:
+            lhs = to_signed(lhs, cmp_width)
+            rhs = to_signed(rhs, cmp_width)
+        result = {
+            "==": lhs == rhs,
+            "===": lhs == rhs,
+            "!=": lhs != rhs,
+            "!==": lhs != rhs,
+            "<": lhs < rhs,
+            "<=": lhs <= rhs,
+            ">": lhs > rhs,
+            ">=": lhs >= rhs,
+        }[op]
+        return 1 if result else 0
+    if op in _SHIFTS:
+        lhs = _operand(expr.lhs, scope, width)
+        amount = eval_expr(expr.rhs, scope)
+        if amount >= max(width, 1) + 64:
+            amount = max(width, 1) + 64  # avoid giant shifts
+        if op == "<<" or op == "<<<":
+            return mask(lhs << amount, width)
+        if op == ">>>" and is_signed_expr(expr.lhs, scope):
+            signed_val = to_signed(lhs, width)
+            return mask(signed_val >> amount, width)
+        return lhs >> amount
+    if op == "**":
+        base = _operand(expr.lhs, scope, width)
+        exponent = eval_expr(expr.rhs, scope)
+        if exponent > 64:
+            exponent = 64  # clamp pathological exponents; result masks anyway
+        return mask(base ** exponent, width)
+
+    signed = is_signed_expr(expr.lhs, scope) and is_signed_expr(expr.rhs, scope)
+    lhs = _operand(expr.lhs, scope, width)
+    rhs = _operand(expr.rhs, scope, width)
+    if op == "+":
+        return mask(lhs + rhs, width)
+    if op == "-":
+        return mask(lhs - rhs, width)
+    if op == "*":
+        return mask(lhs * rhs, width)
+    if op in ("/", "%"):
+        if rhs == 0:
+            return 0  # two-state stand-in for X
+        if signed:
+            slhs, srhs = to_signed(lhs, width), to_signed(rhs, width)
+            quotient = abs(slhs) // abs(srhs)
+            if (slhs < 0) != (srhs < 0):
+                quotient = -quotient
+            remainder = slhs - srhs * quotient
+            return mask(quotient if op == "/" else remainder, width)
+        return mask(lhs // rhs if op == "/" else lhs % rhs, width)
+    if op == "&":
+        return lhs & rhs
+    if op == "|":
+        return lhs | rhs
+    if op == "^":
+        return lhs ^ rhs
+    if op in ("^~", "~^"):
+        return mask(~(lhs ^ rhs), width)
+    raise SimulationError(f"unsupported binary operator {op!r}")
+
+
+def _eval_index(expr: ast.Index, scope: Scope) -> int:
+    name = _base_name(expr.base)
+    index = eval_expr(expr.index, scope)
+    if scope.is_mem(name):
+        return scope.read_mem(name, index)
+    sig_width = scope.width_of(name)
+    if index >= sig_width:
+        return 0  # out-of-range select reads as 0 (two-state X)
+    return (scope.read(name) >> index) & 1
+
+
+def _eval_part_select(expr: ast.PartSelect, scope: Scope) -> int:
+    name = _base_name(expr.base)
+    msb = eval_const_int(expr.msb, scope)
+    lsb = eval_const_int(expr.lsb, scope)
+    if msb < lsb:
+        msb, lsb = lsb, msb
+    sel_width = msb - lsb + 1
+    return mask(scope.read(name) >> lsb, sel_width)
+
+
+def _eval_indexed_part_select(
+    expr: ast.IndexedPartSelect, scope: Scope
+) -> int:
+    name = _base_name(expr.base)
+    start = eval_expr(expr.start, scope)
+    sel_width = eval_const_int(expr.width, scope)
+    lsb = start if expr.ascending else start - sel_width + 1
+    if lsb < 0:
+        lsb = 0
+    return mask(scope.read(name) >> lsb, sel_width)
+
+
+def _eval_system_call(expr: ast.SystemCall, scope: Scope, width: int) -> int:
+    name = expr.name
+    if name == "$signed" or name == "$unsigned":
+        if len(expr.args) != 1:
+            raise SimulationError(f"{name} takes exactly one argument")
+        return _operand(expr.args[0], scope, width)
+    if name == "$clog2":
+        if len(expr.args) != 1:
+            raise SimulationError("$clog2 takes exactly one argument")
+        value = eval_expr(expr.args[0], scope)
+        if value <= 1:
+            return 0
+        return (value - 1).bit_length()
+    if name in ("$time", "$stime", "$realtime"):
+        return 0
+    raise SimulationError(f"unsupported system function {name!r}")
+
+
+class _ConstScope:
+    """Scope exposing only a parameter environment (for const folding)."""
+
+    def __init__(self, params: dict) -> None:
+        self._params = params
+
+    def read(self, name: str) -> int:
+        try:
+            return self._params[name]
+        except KeyError:
+            raise SimulationError(
+                f"{name!r} is not a constant in this context"
+            ) from None
+
+    def width_of(self, name: str) -> int:
+        self.read(name)
+        return 32
+
+    def is_signed(self, name: str) -> bool:
+        return False
+
+    def read_mem(self, name: str, index: int) -> int:
+        raise SimulationError("memories are not constants")
+
+    def mem_width(self, name: str) -> int:
+        raise SimulationError("memories are not constants")
+
+    def is_mem(self, name: str) -> bool:
+        return False
+
+
+def eval_const_int(expr: ast.Expr, scope: Scope) -> int:
+    """Evaluate an expression that must be constant in ``scope``."""
+    return eval_expr(expr, scope)
+
+
+def eval_constant(expr: ast.Expr, params: dict) -> int:
+    """Fold ``expr`` using only the parameter environment ``params``."""
+    return eval_expr(expr, _ConstScope(params))

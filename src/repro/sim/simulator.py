@@ -1,0 +1,470 @@
+"""Runtime for elaborated designs: settle/poke/peek cycle semantics.
+
+The simulator is cycle-based and two-state:
+
+* ``poke`` drives a signal; any edge-triggered blocks sensitive to the
+  resulting transition fire (this is how both clocks and async resets are
+  driven), with nonblocking updates committed atomically afterwards;
+* combinational logic (continuous assigns + ``always @(*)``) re-settles to
+  a fixpoint after every change, with an iteration bound that turns
+  combinational loops into :class:`~repro.errors.SimulationError` instead
+  of hangs;
+* ``peek`` reads any flat signal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.verilog import ast
+from repro.sim.elaborate import CombAssign, CombBlock, Design, SeqBlock
+from repro.sim.eval import eval_expr, self_width
+from repro.sim.values import mask
+
+_MAX_LOOP_ITERS = 1 << 16
+
+
+class _SimScope:
+    """Evaluator scope reading simulator state through a blocking overlay."""
+
+    def __init__(self, sim: "Simulator", overlay: Optional[Dict[str, int]] = None,
+                 mem_overlay: Optional[Dict[Tuple[str, int], int]] = None) -> None:
+        self._sim = sim
+        self.overlay = overlay if overlay is not None else {}
+        self.mem_overlay = mem_overlay if mem_overlay is not None else {}
+
+    def read(self, name: str) -> int:
+        if name in self.overlay:
+            return self.overlay[name]
+        try:
+            return self._sim.state[name]
+        except KeyError:
+            raise SimulationError(f"read of unknown signal {name!r}") from None
+
+    def width_of(self, name: str) -> int:
+        return self._sim.design.signal(name).width
+
+    def is_signed(self, name: str) -> bool:
+        return self._sim.design.signal(name).signed
+
+    def is_mem(self, name: str) -> bool:
+        return name in self._sim.design.memories
+
+    def mem_width(self, name: str) -> int:
+        return self._sim.design.memories[name].width
+
+    def read_mem(self, name: str, index: int) -> int:
+        memory = self._sim.design.memories[name]
+        slot = index - memory.base
+        if slot < 0 or slot >= memory.depth:
+            return 0  # out-of-range read: two-state stand-in for X
+        key = (name, slot)
+        if key in self.mem_overlay:
+            return self.mem_overlay[key]
+        return self._sim.mems[name][slot]
+
+
+class _NBAUpdate:
+    """A deferred nonblocking write, captured with its resolved location."""
+
+    __slots__ = ("kind", "name", "lo", "width", "value")
+
+    def __init__(self, kind: str, name: str, lo: int, width: int, value: int):
+        self.kind = kind  # "signal" | "mem"
+        self.name = name
+        self.lo = lo      # bit offset, or memory slot
+        self.width = width
+        self.value = value
+
+
+class Simulator:
+    """Executes an elaborated :class:`~repro.sim.elaborate.Design`."""
+
+    def __init__(self, design: Design, max_settle_rounds: Optional[int] = None):
+        self.design = design
+        self.state: Dict[str, int] = {name: 0 for name in design.signals}
+        self.mems: Dict[str, List[int]] = {
+            name: [0] * memory.depth for name, memory in design.memories.items()
+        }
+        comb_count = len(design.comb_assigns) + len(design.comb_blocks)
+        self._max_rounds = max_settle_rounds or (2 * comb_count + 16)
+        #: Every signal that appears in an edge sensitivity list anywhere in
+        #: the flattened design.  Edges on these are detected after every
+        #: settle, so clocks that reach child instances through port glue
+        #: (or derived/gated clocks) fire correctly.
+        self._trigger_signals = sorted(
+            {name for block in design.seq_blocks for _, name in block.triggers}
+        )
+        self._run_initial()
+        self.settle()
+
+    # -- public API ---------------------------------------------------------
+
+    def poke(self, name: str, value: int) -> None:
+        """Drive ``name`` to ``value``; fire any triggered edge blocks.
+
+        Edge detection compares trigger-signal values before the poke with
+        their values after combinational settle, so edges that propagate
+        through hierarchy glue or derived-clock logic are seen.  Blocks
+        whose updates create further edges (ripple counters) fire in
+        cascading rounds, bounded to catch oscillating clock loops.
+        """
+        signal = self.design.signal(name)
+        old = self.state[name]
+        new = mask(value, signal.width)
+        if old == new:
+            return
+        snapshot = {s: self.state[s] & 1 for s in self._trigger_signals}
+        self.state[name] = new
+        self.settle()
+        self._fire_edges(snapshot)
+
+    def _fire_edges(self, snapshot: Dict[str, int]) -> None:
+        for _ in range(self._max_rounds):
+            current = {s: self.state[s] & 1 for s in self._trigger_signals}
+            triggered = [
+                block
+                for block in self.design.seq_blocks
+                if any(
+                    self._edge_matches(block, name, snapshot[name], bit)
+                    for name, bit in current.items()
+                    if snapshot[name] != bit
+                )
+            ]
+            if not triggered:
+                return
+            self._run_seq_blocks(triggered)
+            self.settle()
+            snapshot = current
+        raise SimulationError(
+            "edge events failed to quiesce (oscillating clock loop?)"
+        )
+
+    def peek(self, name: str) -> int:
+        try:
+            return self.state[name]
+        except KeyError:
+            raise SimulationError(f"peek of unknown signal {name!r}") from None
+
+    def peek_mem(self, name: str, index: int) -> int:
+        memory = self.design.memories[name]
+        slot = index - memory.base
+        if slot < 0 or slot >= memory.depth:
+            raise SimulationError(f"memory index {index} out of range for {name!r}")
+        return self.mems[name][slot]
+
+    def settle(self) -> None:
+        """Propagate combinational logic to a fixpoint."""
+        for _ in range(self._max_rounds):
+            changed = False
+            for assign in self.design.comb_assigns:
+                if self._apply_comb_assign(assign):
+                    changed = True
+            for block in self.design.comb_blocks:
+                if self._run_comb_block(block):
+                    changed = True
+            if not changed:
+                return
+        raise SimulationError(
+            "combinational logic failed to settle "
+            f"within {self._max_rounds} rounds (combinational loop?)"
+        )
+
+    # -- initial / sequential execution --------------------------------------
+
+    def _run_initial(self) -> None:
+        for stmt in self.design.initial_stmts:
+            scope = _SimScope(self)
+            nba: List[_NBAUpdate] = []
+            self._exec_stmt(stmt, scope, nba)
+            self._commit_overlay(scope)
+            self._commit_nba(nba)
+
+    def _edge_matches(
+        self, block: SeqBlock, name: str, old_bit: int, new_bit: int
+    ) -> bool:
+        for edge, signal in block.triggers:
+            if signal != name:
+                continue
+            if edge == "posedge" and old_bit == 0 and new_bit == 1:
+                return True
+            if edge == "negedge" and old_bit == 1 and new_bit == 0:
+                return True
+        return False
+
+    def _run_seq_blocks(self, blocks: List[SeqBlock]) -> None:
+        """Run edge blocks concurrently: all read pre-edge state, then all
+        nonblocking updates commit at once."""
+        pending: List[_NBAUpdate] = []
+        for block in blocks:
+            scope = _SimScope(self)
+            self._exec_stmt(block.body, scope, pending)
+            # Blocking writes inside an edge block commit with the block
+            # (they model local variables / intermediate nets).
+            self._commit_overlay(scope)
+        self._commit_nba(pending)
+
+    def _commit_overlay(self, scope: _SimScope) -> None:
+        for name, value in scope.overlay.items():
+            self.state[name] = value
+        for (name, slot), value in scope.mem_overlay.items():
+            self.mems[name][slot] = value
+
+    def _commit_nba(self, updates: List[_NBAUpdate]) -> bool:
+        changed = False
+        for upd in updates:
+            if upd.kind == "mem":
+                memory = self.design.memories[upd.name]
+                if 0 <= upd.lo < memory.depth:
+                    new = mask(upd.value, memory.width)
+                    if self.mems[upd.name][upd.lo] != new:
+                        self.mems[upd.name][upd.lo] = new
+                        changed = True
+                continue
+            signal = self.design.signal(upd.name)
+            keep = self.state[upd.name]
+            if upd.lo == 0 and upd.width >= signal.width:
+                new = mask(upd.value, signal.width)
+            else:
+                field_mask = ((1 << upd.width) - 1) << upd.lo
+                new = (keep & ~field_mask) | (
+                    (mask(upd.value, upd.width) << upd.lo) & field_mask
+                )
+            if new != keep:
+                self.state[upd.name] = new
+                changed = True
+        return changed
+
+    # -- combinational execution ---------------------------------------------
+
+    def _apply_comb_assign(self, assign: CombAssign) -> bool:
+        scope = _SimScope(self)
+        width = self._lvalue_width(assign.target, scope)
+        value = eval_expr(assign.value, scope, width)
+        return self._write_lvalue(assign.target, value, scope, blocking=True,
+                                  nba=None, direct=True)
+
+    def _run_comb_block(self, block: CombBlock) -> bool:
+        scope = _SimScope(self)
+        nba: List[_NBAUpdate] = []
+        self._exec_stmt(block.body, scope, nba)
+        changed = False
+        for name, value in scope.overlay.items():
+            if self.state[name] != value:
+                self.state[name] = value
+                changed = True
+        for (name, slot), value in scope.mem_overlay.items():
+            if self.mems[name][slot] != value:
+                self.mems[name][slot] = value
+                changed = True
+        if self._commit_nba(nba):
+            changed = True
+        return changed
+
+    # -- statement execution --------------------------------------------------
+
+    def _exec_stmt(
+        self, stmt: ast.Stmt, scope: _SimScope, nba: List[_NBAUpdate]
+    ) -> None:
+        if isinstance(stmt, ast.Block):
+            for inner in stmt.stmts:
+                self._exec_stmt(inner, scope, nba)
+            return
+        if isinstance(stmt, ast.Assign):
+            width = self._lvalue_width(stmt.target, scope)
+            value = eval_expr(stmt.value, scope, width)
+            self._write_lvalue(
+                stmt.target, value, scope, blocking=stmt.blocking, nba=nba
+            )
+            return
+        if isinstance(stmt, ast.If):
+            if eval_expr(stmt.cond, scope) != 0:
+                self._exec_stmt(stmt.then, scope, nba)
+            elif stmt.other is not None:
+                self._exec_stmt(stmt.other, scope, nba)
+            return
+        if isinstance(stmt, ast.Case):
+            self._exec_case(stmt, scope, nba)
+            return
+        if isinstance(stmt, ast.For):
+            self._exec_for(stmt, scope, nba)
+            return
+        if isinstance(stmt, (ast.NullStmt, ast.SystemTaskCall)):
+            return
+        raise SimulationError(f"cannot execute {type(stmt).__name__}")
+
+    def _exec_case(
+        self, stmt: ast.Case, scope: _SimScope, nba: List[_NBAUpdate]
+    ) -> None:
+        subject_width = self_width(stmt.subject, scope)
+        default: Optional[ast.CaseItem] = None
+        for item in stmt.items:
+            if item.is_default:
+                default = item
+                continue
+            for label in item.labels:
+                width = max(subject_width, self_width(label, scope))
+                subject = eval_expr(stmt.subject, scope, width)
+                value = eval_expr(label, scope, width)
+                wildcard = 0
+                if stmt.kind in ("casez", "casex") and isinstance(
+                    label, ast.Number
+                ):
+                    wildcard = label.unknown_mask
+                if (subject & ~wildcard) == (value & ~wildcard):
+                    self._exec_stmt(item.body, scope, nba)
+                    return
+        if default is not None:
+            self._exec_stmt(default.body, scope, nba)
+
+    def _exec_for(
+        self, stmt: ast.For, scope: _SimScope, nba: List[_NBAUpdate]
+    ) -> None:
+        self._exec_stmt(stmt.init, scope, nba)
+        iterations = 0
+        while eval_expr(stmt.cond, scope) != 0:
+            self._exec_stmt(stmt.body, scope, nba)
+            self._exec_stmt(stmt.step, scope, nba)
+            iterations += 1
+            if iterations > _MAX_LOOP_ITERS:
+                raise SimulationError(
+                    f"for-loop exceeded {_MAX_LOOP_ITERS} iterations"
+                )
+
+    # -- lvalue handling --------------------------------------------------
+
+    def _lvalue_width(self, target: ast.Expr, scope: _SimScope) -> int:
+        if isinstance(target, ast.Identifier):
+            return scope.width_of(target.name)
+        if isinstance(target, ast.Concat):
+            return sum(self._lvalue_width(p, scope) for p in target.parts)
+        if isinstance(target, ast.Index):
+            name = self._target_name(target.base)
+            if scope.is_mem(name):
+                return scope.mem_width(name)
+            return 1
+        if isinstance(target, ast.PartSelect):
+            msb = eval_expr(target.msb, scope)
+            lsb = eval_expr(target.lsb, scope)
+            return abs(msb - lsb) + 1
+        if isinstance(target, ast.IndexedPartSelect):
+            return eval_expr(target.width, scope)
+        raise SimulationError(
+            f"invalid assignment target {type(target).__name__}"
+        )
+
+    @staticmethod
+    def _target_name(expr: ast.Expr) -> str:
+        if not isinstance(expr, ast.Identifier):
+            raise SimulationError("assignment target must be a named signal")
+        return expr.name
+
+    def _write_lvalue(
+        self,
+        target: ast.Expr,
+        value: int,
+        scope: _SimScope,
+        blocking: bool,
+        nba: Optional[List[_NBAUpdate]],
+        direct: bool = False,
+    ) -> bool:
+        """Write ``value`` to ``target``.
+
+        ``direct`` writes go straight to simulator state (continuous
+        assigns) and return whether state changed; procedural writes go to
+        the blocking overlay or the NBA list and return False.
+        """
+        if isinstance(target, ast.Concat):
+            changed = False
+            # First part is most significant.
+            widths = [self._lvalue_width(p, scope) for p in target.parts]
+            total = sum(widths)
+            offset = total
+            for part, part_width in zip(target.parts, widths):
+                offset -= part_width
+                chunk = mask(value >> offset, part_width)
+                if self._write_lvalue(
+                    part, chunk, scope, blocking, nba, direct
+                ):
+                    changed = True
+            return changed
+
+        name, lo, width, is_mem = self._resolve_location(target, scope)
+        if is_mem:
+            memory = self.design.memories[name]
+            if lo < 0 or lo >= memory.depth:
+                return False  # out-of-range write ignored
+            value = mask(value, memory.width)
+            if direct:
+                raise SimulationError(
+                    "continuous assignment to memory element is not supported"
+                )
+            if blocking:
+                scope.mem_overlay[(name, lo)] = value
+            else:
+                assert nba is not None
+                nba.append(_NBAUpdate("mem", name, lo, memory.width, value))
+            return False
+
+        signal = self.design.signal(name)
+        if direct:
+            full = self.state[name]
+            if lo == 0 and width >= signal.width:
+                new = mask(value, signal.width)
+            else:
+                field_mask = ((1 << width) - 1) << lo
+                new = (full & ~field_mask) | (
+                    (mask(value, width) << lo) & field_mask
+                )
+            if new == full:
+                return False
+            self.state[name] = new
+            return True
+        if blocking:
+            current = scope.read(name)
+            if lo == 0 and width >= signal.width:
+                scope.overlay[name] = mask(value, signal.width)
+            else:
+                field_mask = ((1 << width) - 1) << lo
+                scope.overlay[name] = (current & ~field_mask) | (
+                    (mask(value, width) << lo) & field_mask
+                )
+        else:
+            assert nba is not None
+            nba.append(_NBAUpdate("signal", name, lo, width, value))
+        return False
+
+    def _resolve_location(
+        self, target: ast.Expr, scope: _SimScope
+    ) -> Tuple[str, int, int, bool]:
+        """Resolve a non-concat lvalue to (name, offset, width, is_mem)."""
+        if isinstance(target, ast.Identifier):
+            if scope.is_mem(target.name):
+                raise SimulationError(
+                    f"cannot assign whole memory {target.name!r}"
+                )
+            return target.name, 0, scope.width_of(target.name), False
+        if isinstance(target, ast.Index):
+            name = self._target_name(target.base)
+            index = eval_expr(target.index, scope)
+            if scope.is_mem(name):
+                memory = self.design.memories[name]
+                return name, index - memory.base, memory.width, True
+            return name, index, 1, False
+        if isinstance(target, ast.PartSelect):
+            name = self._target_name(target.base)
+            msb = eval_expr(target.msb, scope)
+            lsb = eval_expr(target.lsb, scope)
+            if msb < lsb:
+                msb, lsb = lsb, msb
+            return name, lsb, msb - lsb + 1, False
+        if isinstance(target, ast.IndexedPartSelect):
+            name = self._target_name(target.base)
+            start = eval_expr(target.start, scope)
+            width = eval_expr(target.width, scope)
+            lo = start if target.ascending else start - width + 1
+            return name, max(lo, 0), width, False
+        raise SimulationError(
+            f"invalid assignment target {type(target).__name__}"
+        )

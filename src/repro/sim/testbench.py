@@ -1,0 +1,205 @@
+"""Testbench and equivalence-checking harness.
+
+The functional benchmark (mini-VerilogEval) decides pass/fail for a model
+completion by simulating it against the problem's golden module under the
+same stimulus and comparing every output each cycle.  This module provides:
+
+* :class:`Testbench` — drive a single design with named clock/reset,
+* :func:`random_stimulus` — seeded random input vectors,
+* :func:`equivalence_check` — lockstep golden-vs-candidate comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import SimulationError
+from repro.sim.elaborate import Design, elaborate
+from repro.sim.simulator import Simulator
+from repro.sim.values import mask
+from repro.utils.rng import DeterministicRNG
+from repro.verilog import ast
+
+#: One cycle of input values, keyed by port name (clock excluded).
+StimulusVector = Dict[str, int]
+
+
+class Testbench:
+    """Synchronous test harness around a :class:`Simulator`.
+
+    If ``clock`` is None the design is treated as purely combinational:
+    ``step`` just applies inputs and settles.
+    """
+
+    __test__ = False  # not a pytest test class despite the name
+
+    def __init__(
+        self,
+        design: Design,
+        clock: Optional[str] = "clk",
+        reset: Optional[str] = None,
+        reset_active_high: bool = True,
+    ) -> None:
+        self.design = design
+        self.sim = Simulator(design)
+        input_names = {s.name for s in design.inputs}
+        if clock is not None and clock not in input_names:
+            clock = None  # combinational design; tolerate a missing clock
+        self.clock = clock
+        if reset is not None and reset not in input_names:
+            reset = None
+        self.reset = reset
+        self.reset_active_high = reset_active_high
+
+    @property
+    def input_names(self) -> List[str]:
+        special = {self.clock, self.reset}
+        return [s.name for s in self.design.inputs if s.name not in special]
+
+    @property
+    def output_names(self) -> List[str]:
+        return [s.name for s in self.design.outputs]
+
+    def apply_reset(self, cycles: int = 2) -> None:
+        """Assert reset for ``cycles`` clock cycles, then deassert."""
+        if self.reset is None:
+            return
+        active = 1 if self.reset_active_high else 0
+        self.sim.poke(self.reset, active)
+        if self.clock is not None:
+            for _ in range(cycles):
+                self.tick()
+        self.sim.poke(self.reset, 1 - active)
+
+    def drive(self, vector: StimulusVector) -> None:
+        """Apply one vector of input values (no clock toggle)."""
+        for name, value in vector.items():
+            self.sim.poke(name, value)
+
+    def tick(self, cycles: int = 1) -> None:
+        """Toggle the clock low->high ``cycles`` times."""
+        if self.clock is None:
+            return
+        for _ in range(cycles):
+            self.sim.poke(self.clock, 0)
+            self.sim.poke(self.clock, 1)
+
+    def step(self, vector: StimulusVector) -> Dict[str, int]:
+        """Apply inputs, advance one cycle (if clocked), read outputs."""
+        self.drive(vector)
+        self.tick()
+        return self.sample()
+
+    def sample(self) -> Dict[str, int]:
+        """Read all outputs after combinational settle."""
+        return {name: self.sim.peek(name) for name in self.output_names}
+
+
+def random_stimulus(
+    design: Design,
+    cycles: int,
+    seed: int,
+    exclude: Sequence[str] = ("clk", "rst", "rst_n", "reset", "resetn"),
+) -> List[StimulusVector]:
+    """Generate ``cycles`` random input vectors for ``design``.
+
+    Values are uniform over each input's width.  Control-looking inputs in
+    ``exclude`` are left to the harness.
+    """
+    rng = DeterministicRNG(seed)
+    vectors: List[StimulusVector] = []
+    data_inputs = [s for s in design.inputs if s.name not in exclude]
+    for _ in range(cycles):
+        vector = {
+            s.name: rng.randint(0, (1 << s.width) - 1) for s in data_inputs
+        }
+        vectors.append(vector)
+    return vectors
+
+
+@dataclass
+class EquivalenceResult:
+    """Outcome of a lockstep golden-vs-candidate comparison."""
+
+    equivalent: bool
+    cycles_run: int = 0
+    first_mismatch_cycle: Optional[int] = None
+    mismatched_output: Optional[str] = None
+    expected: Optional[int] = None
+    actual: Optional[int] = None
+    error: Optional[str] = None
+    notes: List[str] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return self.equivalent
+
+
+def _interface_signature(design: Design) -> Dict[str, Dict[str, int]]:
+    return {
+        "inputs": {s.name: s.width for s in design.inputs},
+        "outputs": {s.name: s.width for s in design.outputs},
+    }
+
+
+def equivalence_check(
+    golden: Design,
+    candidate: Design,
+    stimulus: Sequence[StimulusVector],
+    clock: Optional[str] = "clk",
+    reset: Optional[str] = None,
+    reset_active_high: bool = True,
+    reset_cycles: int = 2,
+) -> EquivalenceResult:
+    """Simulate both designs in lockstep and compare outputs every cycle.
+
+    The candidate must present exactly the golden interface (same port
+    names and widths); an interface mismatch is an immediate fail, which
+    mirrors how VerilogEval rejects completions that alter the provided
+    module header.
+    """
+    if _interface_signature(golden) != _interface_signature(candidate):
+        return EquivalenceResult(
+            equivalent=False,
+            error="interface mismatch",
+            notes=[
+                f"golden={_interface_signature(golden)}",
+                f"candidate={_interface_signature(candidate)}",
+            ],
+        )
+    try:
+        tb_gold = Testbench(golden, clock, reset, reset_active_high)
+        tb_cand = Testbench(candidate, clock, reset, reset_active_high)
+        tb_gold.apply_reset(reset_cycles)
+        tb_cand.apply_reset(reset_cycles)
+        for cycle, vector in enumerate(stimulus):
+            out_gold = tb_gold.step(vector)
+            out_cand = tb_cand.step(vector)
+            for name, expected in out_gold.items():
+                actual = out_cand.get(name)
+                if actual != expected:
+                    return EquivalenceResult(
+                        equivalent=False,
+                        cycles_run=cycle + 1,
+                        first_mismatch_cycle=cycle,
+                        mismatched_output=name,
+                        expected=expected,
+                        actual=actual,
+                    )
+    except SimulationError as exc:
+        return EquivalenceResult(equivalent=False, error=str(exc))
+    return EquivalenceResult(equivalent=True, cycles_run=len(stimulus))
+
+
+def simulate_source(
+    source_file: "ast.SourceFile",
+    top: str,
+    stimulus: Sequence[StimulusVector],
+    clock: Optional[str] = "clk",
+    reset: Optional[str] = None,
+) -> List[Dict[str, int]]:
+    """Convenience: elaborate ``top`` and return per-cycle output samples."""
+    design = elaborate(source_file, top)
+    bench = Testbench(design, clock, reset)
+    bench.apply_reset()
+    return [bench.step(vector) for vector in stimulus]

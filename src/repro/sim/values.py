@@ -1,0 +1,74 @@
+"""Bit-vector value helpers for the two-state simulator.
+
+Values are plain non-negative Python ints, always interpreted together with
+an explicit bit width.  These helpers centralize the masking and signed
+reinterpretation rules so the evaluator stays readable.
+"""
+
+from __future__ import annotations
+
+
+def mask(value: int, width: int) -> int:
+    """Truncate ``value`` to ``width`` bits (two's-complement wraparound)."""
+    if width <= 0:
+        return 0
+    return value & ((1 << width) - 1)
+
+
+def to_signed(value: int, width: int) -> int:
+    """Reinterpret a masked unsigned value as a signed integer."""
+    if width <= 0:
+        return 0
+    value = mask(value, width)
+    if value & (1 << (width - 1)):
+        return value - (1 << width)
+    return value
+
+
+def from_signed(value: int, width: int) -> int:
+    """Encode a (possibly negative) integer into ``width`` bits."""
+    return mask(value, width)
+
+
+def bit_length_for(count: int) -> int:
+    """Smallest width that can index ``count`` items ($clog2 semantics).
+
+    Matches Verilog-2005 ``$clog2``: ceil(log2(count)), with
+    ``$clog2(0) == 0`` and ``$clog2(1) == 0``.
+    """
+    if count <= 1:
+        return 0
+    return (count - 1).bit_length()
+
+
+def replicate(value: int, width: int, times: int) -> int:
+    """Concatenate ``times`` copies of a ``width``-bit value."""
+    if times <= 0 or width <= 0:
+        return 0
+    value = mask(value, width)
+    out = 0
+    for _ in range(times):
+        out = (out << width) | value
+    return out
+
+
+def concat(parts: list) -> int:
+    """Concatenate (value, width) pairs, first part most significant."""
+    out = 0
+    for value, width in parts:
+        out = (out << width) | mask(value, width)
+    return out
+
+
+def reduce_and(value: int, width: int) -> int:
+    if width <= 0:
+        return 0
+    return 1 if mask(value, width) == (1 << width) - 1 else 0
+
+
+def reduce_or(value: int, width: int) -> int:
+    return 1 if mask(value, width) != 0 else 0
+
+
+def reduce_xor(value: int, width: int) -> int:
+    return bin(mask(value, width)).count("1") & 1

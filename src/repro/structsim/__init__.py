@@ -1,0 +1,29 @@
+"""Structural design similarity (the paper's GNN4IP future-work item).
+
+Sec. V of the paper notes that cosine similarity over text is a
+preliminary metric and that "other similarity metrics may be explored for
+effective comparisons of the hardware design, such as evaluating the
+design structure, like GNN4IP".  This package implements that extension:
+
+* :mod:`repro.structsim.graph` — lower a parsed module to a *dataflow
+  graph* whose node labels carry operator kinds and widths but **no
+  identifier names**, so the representation is invariant under the
+  identifier-renaming "laundering" that defeats textual similarity;
+* :mod:`repro.structsim.wl` — a Weisfeiler-Lehman subtree kernel over
+  those graphs (the classical graph-kernel analogue of the GNN embedding
+  GNN4IP learns);
+* :mod:`repro.structsim.detector` — a drop-in structural counterpart to
+  :class:`repro.textsim.SimilarityIndex` for the copyright benchmark.
+"""
+
+from repro.structsim.graph import build_dataflow_graph
+from repro.structsim.wl import wl_similarity, wl_histogram
+from repro.structsim.detector import StructuralIndex, StructuralMatch
+
+__all__ = [
+    "build_dataflow_graph",
+    "wl_similarity",
+    "wl_histogram",
+    "StructuralIndex",
+    "StructuralMatch",
+]

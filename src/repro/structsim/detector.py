@@ -1,0 +1,61 @@
+"""Structural nearest-neighbour index for the copyright benchmark.
+
+A drop-in counterpart to :class:`repro.textsim.SimilarityIndex` that
+compares Weisfeiler-Lehman histograms of dataflow graphs instead of
+character n-grams.  Unparseable texts (a model completion need not be
+valid Verilog) vectorize to an empty histogram and match nothing.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Hashable, Optional
+
+from repro.errors import VerilogError
+from repro.structsim.graph import build_dataflow_graph
+from repro.structsim.wl import DEFAULT_ITERATIONS, wl_histogram, _cosine
+
+
+@dataclass
+class StructuralMatch:
+    key: Hashable
+    score: float
+
+
+class StructuralIndex:
+    """Max WL-similarity lookup against a corpus of Verilog texts."""
+
+    def __init__(self, iterations: int = DEFAULT_ITERATIONS) -> None:
+        self.iterations = iterations
+        self._histograms: Dict[Hashable, Counter] = {}
+
+    def _vectorize(self, text: str) -> Counter:
+        try:
+            graph = build_dataflow_graph(text)
+        except (VerilogError, IndexError):
+            return Counter()
+        return wl_histogram(graph, self.iterations)
+
+    def add(self, key: Hashable, text: str) -> None:
+        if key in self._histograms:
+            raise KeyError(f"duplicate key {key!r}")
+        self._histograms[key] = self._vectorize(text)
+
+    def __len__(self) -> int:
+        return len(self._histograms)
+
+    def best_match(self, text: str) -> Optional[StructuralMatch]:
+        query = self._vectorize(text)
+        if not query or not self._histograms:
+            return None
+        best_key = None
+        best_score = -1.0
+        for key, histogram in self._histograms.items():
+            score = _cosine(query, histogram)
+            if score > best_score:
+                best_key, best_score = key, score
+        return StructuralMatch(key=best_key, score=best_score)
+
+    def score_against(self, key: Hashable, text: str) -> float:
+        return _cosine(self._vectorize(text), self._histograms[key])

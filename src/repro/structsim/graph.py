@@ -1,0 +1,222 @@
+"""Lower a parsed Verilog module to a name-free dataflow graph.
+
+Nodes are signals, constants, operators, and process kinds; node labels
+encode only *structure* (operator symbol, declared width bucket, port
+direction, sequential vs combinational), never identifier text.  Two
+modules that differ only by consistent identifier renaming therefore
+produce isomorphic graphs — the property that makes structural similarity
+robust where textual cosine similarity fails.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import networkx as nx
+
+from repro.verilog import ast, parse_source
+
+
+def _width_bucket(width: Optional[int]) -> str:
+    """Coarse width label: exact small widths, bucketed large ones."""
+    if width is None:
+        return "w?"
+    if width <= 4:
+        return f"w{width}"
+    if width <= 8:
+        return "w5-8"
+    if width <= 16:
+        return "w9-16"
+    if width <= 32:
+        return "w17-32"
+    return "w33+"
+
+
+def _range_width(rng: Optional[ast.Range]) -> Optional[int]:
+    if rng is None:
+        return 1
+    if isinstance(rng.msb, ast.Number) and isinstance(rng.lsb, ast.Number):
+        return abs(rng.msb.value - rng.lsb.value) + 1
+    return None  # parameterized width
+
+
+class _GraphBuilder:
+    def __init__(self, module: ast.Module) -> None:
+        self.module = module
+        self.graph = nx.DiGraph()
+        self._counter = 0
+        self._signal_nodes: Dict[str, int] = {}
+
+    def _new_node(self, label: str) -> int:
+        node = self._counter
+        self._counter += 1
+        self.graph.add_node(node, label=label)
+        return node
+
+    def _signal_node(self, name: str) -> int:
+        if name not in self._signal_nodes:
+            # Signals referenced but not declared (cross-file nets) get a
+            # generic label.
+            self._signal_nodes[name] = self._new_node("sig:w?")
+        return self._signal_nodes[name]
+
+    # -- declarations ------------------------------------------------------
+
+    def _declare_signals(self) -> None:
+        for port in self.module.ports:
+            label = (
+                f"port:{port.direction}:"
+                f"{_width_bucket(_range_width(port.range))}"
+            )
+            self._signal_nodes[port.name] = self._new_node(label)
+        for net in self.module.nets:
+            if net.name in self._signal_nodes:
+                continue
+            kind = "mem" if net.array_dims else net.kind
+            label = f"{kind}:{_width_bucket(_range_width(net.range))}"
+            self._signal_nodes[net.name] = self._new_node(label)
+
+    # -- expressions -------------------------------------------------------
+
+    def _expr_node(self, expr: ast.Expr) -> int:
+        if isinstance(expr, ast.Number):
+            # Constant values are structure: reset values, comparison
+            # bounds, and tap masks distinguish designs of equal shape.
+            magnitude = expr.value.bit_length()
+            return self._new_node(f"const:b{magnitude}")
+        if isinstance(expr, ast.StringLiteral):
+            return self._new_node("const:str")
+        if isinstance(expr, ast.Identifier):
+            return self._signal_node(expr.name)
+        if isinstance(expr, ast.Unary):
+            node = self._new_node(f"op:{expr.op}u")
+            self.graph.add_edge(self._expr_node(expr.operand), node)
+            return node
+        if isinstance(expr, ast.Binary):
+            node = self._new_node(f"op:{expr.op}")
+            self.graph.add_edge(self._expr_node(expr.lhs), node)
+            self.graph.add_edge(self._expr_node(expr.rhs), node)
+            return node
+        if isinstance(expr, ast.Ternary):
+            node = self._new_node("op:mux")
+            self.graph.add_edge(self._expr_node(expr.cond), node)
+            self.graph.add_edge(self._expr_node(expr.then), node)
+            self.graph.add_edge(self._expr_node(expr.other), node)
+            return node
+        if isinstance(expr, ast.Concat):
+            node = self._new_node(f"op:concat{len(expr.parts)}")
+            for part in expr.parts:
+                self.graph.add_edge(self._expr_node(part), node)
+            return node
+        if isinstance(expr, ast.Repeat):
+            node = self._new_node("op:repeat")
+            self.graph.add_edge(self._expr_node(expr.inner), node)
+            return node
+        if isinstance(expr, ast.Index):
+            node = self._new_node("op:index")
+            self.graph.add_edge(self._expr_node(expr.base), node)
+            self.graph.add_edge(self._expr_node(expr.index), node)
+            return node
+        if isinstance(expr, ast.PartSelect):
+            node = self._new_node("op:slice")
+            self.graph.add_edge(self._expr_node(expr.base), node)
+            return node
+        if isinstance(expr, ast.IndexedPartSelect):
+            node = self._new_node("op:islice")
+            self.graph.add_edge(self._expr_node(expr.base), node)
+            self.graph.add_edge(self._expr_node(expr.start), node)
+            return node
+        if isinstance(expr, ast.SystemCall):
+            node = self._new_node(f"op:{expr.name}")
+            for arg in expr.args:
+                self.graph.add_edge(self._expr_node(arg), node)
+            return node
+        return self._new_node("op:unknown")
+
+    # -- statements --------------------------------------------------------
+
+    def _assign_edge(self, target: ast.Expr, source_node: int,
+                     kind: str) -> None:
+        write = self._new_node(f"asn:{kind}")
+        self.graph.add_edge(source_node, write)
+        self.graph.add_edge(write, self._lvalue_node(target))
+
+    def _lvalue_node(self, target: ast.Expr) -> int:
+        if isinstance(target, ast.Identifier):
+            return self._signal_node(target.name)
+        if isinstance(target, (ast.Index, ast.PartSelect,
+                               ast.IndexedPartSelect)):
+            return self._lvalue_node(target.base)
+        if isinstance(target, ast.Concat):
+            node = self._new_node("op:split")
+            for part in target.parts:
+                self.graph.add_edge(node, self._lvalue_node(part))
+            return node
+        return self._new_node("op:unknown")
+
+    def _stmt(self, stmt: ast.Stmt, kind: str, guard: Optional[int]) -> None:
+        if isinstance(stmt, ast.Block):
+            for inner in stmt.stmts:
+                self._stmt(inner, kind, guard)
+            return
+        if isinstance(stmt, ast.Assign):
+            source = self._expr_node(stmt.value)
+            if guard is not None:
+                merged = self._new_node("op:guard")
+                self.graph.add_edge(guard, merged)
+                self.graph.add_edge(source, merged)
+                source = merged
+            asn_kind = kind if stmt.blocking else f"{kind}:nb"
+            self._assign_edge(stmt.target, source, asn_kind)
+            return
+        if isinstance(stmt, ast.If):
+            cond = self._expr_node(stmt.cond)
+            self._stmt(stmt.then, kind, cond)
+            if stmt.other is not None:
+                inv = self._new_node("op:!u")
+                self.graph.add_edge(cond, inv)
+                self._stmt(stmt.other, kind, inv)
+            return
+        if isinstance(stmt, ast.Case):
+            subject = self._expr_node(stmt.subject)
+            for item in stmt.items:
+                arm = self._new_node(f"op:case-arm:{stmt.kind}")
+                self.graph.add_edge(subject, arm)
+                for label in item.labels:
+                    self.graph.add_edge(self._expr_node(label), arm)
+                self._stmt(item.body, kind, arm)
+            return
+        if isinstance(stmt, ast.For):
+            loop = self._new_node("op:for")
+            self.graph.add_edge(self._expr_node(stmt.cond), loop)
+            self._stmt(stmt.body, kind, loop)
+            return
+        # Null statements and system tasks contribute no structure.
+
+    def build(self) -> nx.DiGraph:
+        self._declare_signals()
+        for assign in self.module.assigns:
+            self._assign_edge(
+                assign.target, self._expr_node(assign.value), "cont"
+            )
+        for block in self.module.always_blocks:
+            kind = "comb" if block.is_combinational else "seq"
+            self._stmt(block.body, kind, None)
+        for block in self.module.initial_blocks:
+            self._stmt(block.body, "init", None)
+        for instance in self.module.instances:
+            node = self._new_node("inst")
+            for conn in instance.connections:
+                if conn.expr is not None:
+                    self.graph.add_edge(self._expr_node(conn.expr), node)
+        return self.graph
+
+
+def build_dataflow_graph(source_or_module) -> nx.DiGraph:
+    """Dataflow graph of a module (or of the first module in a source)."""
+    if isinstance(source_or_module, ast.Module):
+        module = source_or_module
+    else:
+        parsed = parse_source(str(source_or_module))
+        module = parsed.modules[0]
+    return _GraphBuilder(module).build()

@@ -1,0 +1,20 @@
+"""Cosine-similarity text comparison for the copyright benchmark.
+
+The paper scores a model completion against the copyrighted corpus with
+cosine similarity and calls a violation anything scoring >= 0.8
+(Sec. III-A).  This package provides the vectorizer (character n-gram
+term frequencies, robust to tokenization differences in generated code),
+cosine similarity, and a nearest-neighbour index over a corpus.
+"""
+
+from repro.textsim.vectorize import NgramVectorizer, SparseVector
+from repro.textsim.cosine import cosine_similarity
+from repro.textsim.index import SimilarityIndex, SimilarityMatch
+
+__all__ = [
+    "NgramVectorizer",
+    "SparseVector",
+    "cosine_similarity",
+    "SimilarityIndex",
+    "SimilarityMatch",
+]

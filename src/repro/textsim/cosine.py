@@ -1,0 +1,21 @@
+"""Cosine similarity between sparse vectors."""
+
+from __future__ import annotations
+
+from repro.textsim.vectorize import SparseVector
+
+
+def cosine_similarity(a: SparseVector, b: SparseVector) -> float:
+    """Standard cosine similarity in [0, 1] for TF vectors.
+
+    Either vector being empty yields 0.0 (no evidence of similarity).
+    """
+    if a.norm == 0.0 or b.norm == 0.0:
+        return 0.0
+    small, large = (a, b) if len(a) <= len(b) else (b, a)
+    dot = 0.0
+    for term, weight in small.weights.items():
+        other = large.weights.get(term)
+        if other is not None:
+            dot += weight * other
+    return dot / (a.norm * b.norm)

@@ -1,0 +1,111 @@
+"""Small statistics helpers used by the benchmark harnesses.
+
+Figure 2 of the paper is a histogram over log-spaced character-count bins
+(10^1 .. 10^8); :func:`log_bins` and :class:`Histogram` regenerate that
+series for any corpus.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+
+def log_bins(lo_exp: int = 1, hi_exp: int = 8, per_decade: int = 1) -> List[float]:
+    """Return log-spaced bin edges from 10**lo_exp to 10**hi_exp."""
+    if hi_exp <= lo_exp:
+        raise ValueError("hi_exp must exceed lo_exp")
+    if per_decade < 1:
+        raise ValueError("per_decade must be >= 1")
+    steps = (hi_exp - lo_exp) * per_decade
+    return [10 ** (lo_exp + i / per_decade) for i in range(steps + 1)]
+
+
+@dataclass
+class Histogram:
+    """A fixed-bin histogram over scalar samples.
+
+    Samples below the first edge go into an underflow bucket; samples at or
+    above the last edge go into an overflow bucket.  Both are tracked so the
+    bin counts always account for every sample.
+    """
+
+    edges: Sequence[float]
+    counts: List[int] = field(default_factory=list)
+    underflow: int = 0
+    overflow: int = 0
+
+    def __post_init__(self) -> None:
+        if len(self.edges) < 2:
+            raise ValueError("need at least two bin edges")
+        if list(self.edges) != sorted(self.edges):
+            raise ValueError("bin edges must be sorted")
+        if not self.counts:
+            self.counts = [0] * (len(self.edges) - 1)
+        if len(self.counts) != len(self.edges) - 1:
+            raise ValueError("counts length must be len(edges) - 1")
+
+    def add(self, value: float) -> None:
+        if value < self.edges[0]:
+            self.underflow += 1
+            return
+        if value >= self.edges[-1]:
+            self.overflow += 1
+            return
+        # Binary search for the bin.
+        lo, hi = 0, len(self.edges) - 1
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if value >= self.edges[mid]:
+                lo = mid
+            else:
+                hi = mid
+        self.counts[lo] += 1
+
+    def add_all(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.add(value)
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts) + self.underflow + self.overflow
+
+    def bin_centers(self) -> List[float]:
+        """Geometric centers, appropriate for log-spaced bins."""
+        return [
+            math.sqrt(self.edges[i] * self.edges[i + 1])
+            for i in range(len(self.edges) - 1)
+        ]
+
+    def series(self) -> List[Tuple[float, int]]:
+        """(bin center, count) pairs, the shape plotted in Figure 2."""
+        return list(zip(self.bin_centers(), self.counts))
+
+
+def summarize(values: Sequence[float]) -> Dict[str, float]:
+    """Return min/max/mean/median/p90 of a non-empty sequence."""
+    if not values:
+        raise ValueError("cannot summarize an empty sequence")
+    ordered = sorted(values)
+    n = len(ordered)
+
+    def percentile(p: float) -> float:
+        if n == 1:
+            return float(ordered[0])
+        rank = p * (n - 1)
+        lo = int(math.floor(rank))
+        hi = int(math.ceil(rank))
+        if lo == hi:
+            return float(ordered[lo])
+        frac = rank - lo
+        return float(ordered[lo] * (1 - frac) + ordered[hi] * frac)
+
+    return {
+        "count": float(n),
+        "min": float(ordered[0]),
+        "max": float(ordered[-1]),
+        "mean": float(sum(ordered) / n),
+        "median": percentile(0.5),
+        "p90": percentile(0.9),
+    }

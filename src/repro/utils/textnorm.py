@@ -1,0 +1,108 @@
+"""Text normalization helpers shared by curation, prompts, and similarity.
+
+The paper's copyright benchmark strips all comments from the copyrighted
+files before prompting (Sec. III-A), then keeps the first 20% of the code
+capped at 64 words.  These helpers implement those operations for Verilog
+text without requiring a full parse (the inputs may be syntactically
+broken, so the stripper is a small scanner that respects string literals).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+_WS_RE = re.compile(r"\s+")
+
+
+def strip_comments(text: str) -> str:
+    """Remove ``//`` line comments and ``/* */`` block comments.
+
+    String literals are respected: comment markers inside double quotes are
+    kept.  Unterminated block comments run to the end of input, matching
+    compiler behaviour.
+    """
+    out: List[str] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if ch == '"':
+            # Copy the string literal verbatim, honouring escapes.
+            out.append(ch)
+            i += 1
+            while i < n:
+                out.append(text[i])
+                if text[i] == "\\" and i + 1 < n:
+                    out.append(text[i + 1])
+                    i += 2
+                    continue
+                if text[i] == '"':
+                    i += 1
+                    break
+                i += 1
+            continue
+        if ch == "/" and nxt == "/":
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        if ch == "/" and nxt == "*":
+            i += 2
+            while i + 1 < n and not (text[i] == "*" and text[i + 1] == "/"):
+                i += 1
+            i = min(i + 2, n)
+            # Preserve a separator so tokens do not merge across comments.
+            out.append(" ")
+            continue
+        out.append(ch)
+        i += 1
+    return "".join(out)
+
+
+def normalize_whitespace(text: str) -> str:
+    """Collapse all whitespace runs to single spaces and trim the ends."""
+    return _WS_RE.sub(" ", text).strip()
+
+
+def word_count(text: str) -> int:
+    """Number of whitespace-separated words."""
+    return len(text.split())
+
+
+def truncate_words(text: str, max_words: int) -> str:
+    """Keep at most ``max_words`` whitespace-separated words."""
+    if max_words <= 0:
+        return ""
+    words = text.split()
+    if len(words) <= max_words:
+        return text.strip()
+    return " ".join(words[:max_words])
+
+
+def leading_fraction(text: str, fraction: float) -> str:
+    """Return the first ``fraction`` of ``text`` by character count."""
+    if fraction <= 0:
+        return ""
+    if fraction >= 1:
+        return text
+    cut = max(1, int(len(text) * fraction))
+    return text[:cut]
+
+
+def dedent_code(text: str) -> str:
+    """Remove the common leading indentation from non-empty lines."""
+    lines = text.splitlines()
+    indents = [
+        len(line) - len(line.lstrip())
+        for line in lines
+        if line.strip()
+    ]
+    if not indents:
+        return text
+    pad = min(indents)
+    if pad == 0:
+        return text
+    return "\n".join(
+        line[pad:] if line.strip() else line for line in lines
+    )

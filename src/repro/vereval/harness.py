@@ -1,0 +1,148 @@
+"""Generation + functional-check harness producing pass@k scores."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ElaborationError, SimulationError
+from repro.llm.model import LanguageModel
+from repro.llm.sampler import GenerationConfig
+from repro.sim import elaborate, equivalence_check, random_stimulus
+from repro.utils.rng import DeterministicRNG
+from repro.verilog import parse_source
+from repro.vereval.passk import mean_pass_at_k
+from repro.vereval.problems import EvalProblem
+
+
+@dataclass
+class EvalConfig:
+    """Evaluation protocol parameters (paper defaults)."""
+
+    n_samples: int = 10
+    ks: Tuple[int, ...] = (1, 5, 10)
+    temperatures: Tuple[float, ...] = (0.2, 0.8)
+    max_new_tokens: int = 1024
+    seed: int = 0
+
+
+@dataclass
+class ProblemOutcome:
+    """Per-problem sample outcomes at one temperature."""
+
+    problem_id: str
+    passes: int
+    samples: int
+    failures: Dict[str, int] = field(default_factory=dict)  # reason -> count
+
+
+@dataclass
+class EvalResult:
+    """pass@k per temperature plus the paper's best-of-temperatures row."""
+
+    model_name: str
+    per_temperature: Dict[float, Dict[int, float]] = field(default_factory=dict)
+    outcomes: Dict[float, List[ProblemOutcome]] = field(default_factory=dict)
+
+    def best(self) -> Dict[int, float]:
+        """Best pass@k over temperatures (the paper reports the best run)."""
+        best: Dict[int, float] = {}
+        for scores in self.per_temperature.values():
+            for k, value in scores.items():
+                if value > best.get(k, -1.0):
+                    best[k] = value
+        return best
+
+    def summary(self) -> str:
+        parts = [f"{self.model_name}:"]
+        for k, value in sorted(self.best().items()):
+            parts.append(f"pass@{k}={value * 100:.1f}%")
+        return " ".join(parts)
+
+
+def check_completion(
+    problem: EvalProblem, completion: str
+) -> Tuple[bool, str]:
+    """Functional verdict for one completion.
+
+    The candidate module is prompt header + completion.  Returns
+    (passed, failure_reason); reason is "" on success.
+    """
+    candidate_source = problem.prompt() + completion
+    try:
+        candidate_file = parse_source(candidate_source)
+    except Exception:
+        return False, "syntax"
+    name = problem.module.name
+    if candidate_file.module(name) is None:
+        return False, "missing_module"
+    try:
+        golden = elaborate(parse_source(problem.golden_source), name)
+        candidate = elaborate(candidate_file, name)
+    except ElaborationError:
+        return False, "elaboration"
+    interface = problem.module.interface
+    stimulus = random_stimulus(
+        golden, problem.stimulus_cycles, seed=problem.stimulus_seed
+    )
+    try:
+        verdict = equivalence_check(
+            golden,
+            candidate,
+            stimulus,
+            clock=interface.clock,
+            reset=interface.reset,
+            reset_active_high=interface.reset_active_high,
+        )
+    except SimulationError:
+        return False, "simulation"
+    if verdict.equivalent:
+        return True, ""
+    return False, verdict.error or "mismatch"
+
+
+def evaluate_model(
+    model: LanguageModel,
+    problems: Sequence[EvalProblem],
+    config: Optional[EvalConfig] = None,
+) -> EvalResult:
+    """Run the full pass@k protocol for one model."""
+    config = config or EvalConfig()
+    if config.n_samples < max(config.ks):
+        raise ValueError("n_samples must be >= max k")
+    result = EvalResult(model_name=model.name)
+    for temperature in config.temperatures:
+        outcomes: List[ProblemOutcome] = []
+        for problem in problems:
+            gen_config = GenerationConfig(
+                temperature=temperature,
+                max_new_tokens=config.max_new_tokens,
+                stop_strings=("endmodule",),
+            )
+            passes = 0
+            failures: Dict[str, int] = {}
+            prompt = problem.prompt()
+            for sample_index in range(config.n_samples):
+                seed = DeterministicRNG(config.seed).fork(
+                    model.name, temperature, problem.problem_id, sample_index
+                ).seed
+                completion = model.generate(prompt, gen_config, seed=seed)
+                ok, reason = check_completion(problem, completion)
+                if ok:
+                    passes += 1
+                else:
+                    failures[reason] = failures.get(reason, 0) + 1
+            outcomes.append(
+                ProblemOutcome(
+                    problem_id=problem.problem_id,
+                    passes=passes,
+                    samples=config.n_samples,
+                    failures=failures,
+                )
+            )
+        result.outcomes[temperature] = outcomes
+        counts = [o.passes for o in outcomes]
+        result.per_temperature[temperature] = {
+            k: mean_pass_at_k(counts, config.n_samples, k) for k in config.ks
+        }
+    return result

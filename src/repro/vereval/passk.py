@@ -1,0 +1,34 @@
+"""The unbiased pass@k estimator (Eq. 1 of the paper, from Codex).
+
+    pass@k = E_problems[ 1 - C(n - c, k) / C(n, k) ]
+
+where ``n`` is the number of samples per problem and ``c`` the number
+that passed.  The product formulation below avoids factorial overflow.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def pass_at_k(n: int, c: int, k: int) -> float:
+    """Unbiased single-problem estimate of pass@k."""
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    if n < k:
+        raise ValueError(f"need at least k={k} samples, got n={n}")
+    if not 0 <= c <= n:
+        raise ValueError(f"pass count c={c} outside [0, n={n}]")
+    if n - c < k:
+        return 1.0
+    prob_all_fail = 1.0
+    for i in range(n - c + 1, n + 1):
+        prob_all_fail *= 1.0 - k / i
+    return 1.0 - prob_all_fail
+
+
+def mean_pass_at_k(counts: Sequence[int], n: int, k: int) -> float:
+    """Average pass@k over problems given per-problem pass counts."""
+    if not counts:
+        raise ValueError("no problems")
+    return sum(pass_at_k(n, c, k) for c in counts) / len(counts)

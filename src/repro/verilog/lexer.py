@@ -1,0 +1,199 @@
+"""Hand-written lexer for the Verilog-2001 subset.
+
+Produces a flat token stream with line/column positions.  Comments are
+skipped; compiler directives (backtick lines such as ``\\`timescale``) are
+consumed to end-of-line and surfaced as ``DIRECTIVE`` tokens so the parser
+can ignore them without losing position information.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import LexError
+from repro.verilog.tokens import (
+    KEYWORDS,
+    MULTI_CHAR_OPS,
+    SINGLE_CHAR_OPS,
+    Token,
+    TokenKind,
+)
+
+_IDENT_START = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_"
+)
+_IDENT_CONT = _IDENT_START | frozenset("0123456789$")
+_DIGITS = frozenset("0123456789")
+_BASE_CHARS = frozenset("bBoOdDhH")
+_BASED_DIGITS = frozenset("0123456789abcdefABCDEFxXzZ?_")
+
+
+class Lexer:
+    """Single-pass scanner over Verilog source text."""
+
+    def __init__(self, source: str) -> None:
+        self._src = source
+        self._pos = 0
+        self._line = 1
+        self._col = 1
+
+    def tokens(self) -> List[Token]:
+        """Lex the entire input, appending a trailing EOF token."""
+        out: List[Token] = []
+        while True:
+            tok = self._next_token()
+            out.append(tok)
+            if tok.kind is TokenKind.EOF:
+                return out
+
+    # -- scanning ---------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> str:
+        idx = self._pos + offset
+        return self._src[idx] if idx < len(self._src) else ""
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self._pos >= len(self._src):
+                return
+            if self._src[self._pos] == "\n":
+                self._line += 1
+                self._col = 1
+            else:
+                self._col += 1
+            self._pos += 1
+
+    def _error(self, message: str) -> LexError:
+        return LexError(message, self._line, self._col)
+
+    def _skip_trivia(self) -> None:
+        """Skip whitespace and comments."""
+        while self._pos < len(self._src):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while self._pos < len(self._src) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                self._advance(2)
+                while self._pos < len(self._src):
+                    if self._peek() == "*" and self._peek(1) == "/":
+                        self._advance(2)
+                        break
+                    self._advance()
+                else:
+                    raise self._error("unterminated block comment")
+            else:
+                return
+
+    def _next_token(self) -> Token:
+        self._skip_trivia()
+        line, col = self._line, self._col
+        if self._pos >= len(self._src):
+            return Token(TokenKind.EOF, "", line, col)
+        ch = self._peek()
+
+        if ch == "`":
+            return self._lex_directive(line, col)
+        if ch in _IDENT_START:
+            return self._lex_ident(line, col)
+        if ch == "$":
+            return self._lex_system_ident(line, col)
+        if ch in _DIGITS or (ch == "'" and self._peek(1) in _BASE_CHARS):
+            return self._lex_number(line, col)
+        if ch == '"':
+            return self._lex_string(line, col)
+        return self._lex_operator(line, col)
+
+    def _lex_directive(self, line: int, col: int) -> Token:
+        start = self._pos
+        while self._pos < len(self._src) and self._peek() != "\n":
+            # Directives with line continuations (multi-line `define).
+            if self._peek() == "\\" and self._peek(1) == "\n":
+                self._advance(2)
+                continue
+            self._advance()
+        return Token(TokenKind.DIRECTIVE, self._src[start:self._pos], line, col)
+
+    def _lex_ident(self, line: int, col: int) -> Token:
+        start = self._pos
+        while self._pos < len(self._src) and self._peek() in _IDENT_CONT:
+            self._advance()
+        text = self._src[start:self._pos]
+        kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+        return Token(kind, text, line, col)
+
+    def _lex_system_ident(self, line: int, col: int) -> Token:
+        start = self._pos
+        self._advance()  # consume '$'
+        if self._peek() not in _IDENT_START:
+            raise self._error("'$' must start a system identifier")
+        while self._pos < len(self._src) and self._peek() in _IDENT_CONT:
+            self._advance()
+        return Token(TokenKind.SYSTEM_IDENT, self._src[start:self._pos], line, col)
+
+    def _lex_number(self, line: int, col: int) -> Token:
+        start = self._pos
+        # Optional decimal size prefix.
+        while self._peek() in _DIGITS or self._peek() == "_":
+            self._advance()
+        if self._peek() == "'":
+            self._advance()
+            if self._peek() in "sS":
+                self._advance()
+            if self._peek() not in _BASE_CHARS:
+                raise self._error("expected base character after \"'\"")
+            self._advance()
+            if self._peek() not in _BASED_DIGITS:
+                raise self._error("expected digits after number base")
+            while self._peek() in _BASED_DIGITS:
+                self._advance()
+            return Token(TokenKind.BASED_NUMBER, self._src[start:self._pos], line, col)
+        # Plain decimal (possibly a real literal; we lex the fraction but the
+        # parser treats reals as unsupported).
+        if self._peek() == "." and self._peek(1) in _DIGITS:
+            self._advance()
+            while self._peek() in _DIGITS:
+                self._advance()
+        text = self._src[start:self._pos]
+        if not text:
+            raise self._error("malformed number")
+        return Token(TokenKind.NUMBER, text, line, col)
+
+    def _lex_string(self, line: int, col: int) -> Token:
+        self._advance()  # opening quote
+        chars: List[str] = []
+        while True:
+            if self._pos >= len(self._src):
+                raise self._error("unterminated string literal")
+            ch = self._peek()
+            if ch == "\n":
+                raise self._error("newline in string literal")
+            if ch == "\\":
+                nxt = self._peek(1)
+                escapes = {"n": "\n", "t": "\t", "\\": "\\", '"': '"'}
+                chars.append(escapes.get(nxt, nxt))
+                self._advance(2)
+                continue
+            if ch == '"':
+                self._advance()
+                return Token(TokenKind.STRING, "".join(chars), line, col)
+            chars.append(ch)
+            self._advance()
+
+    def _lex_operator(self, line: int, col: int) -> Token:
+        for op in MULTI_CHAR_OPS:
+            if self._src.startswith(op, self._pos):
+                self._advance(len(op))
+                return Token(TokenKind.OP, op, line, col)
+        ch = self._peek()
+        if ch in SINGLE_CHAR_OPS:
+            self._advance()
+            return Token(TokenKind.OP, ch, line, col)
+        raise self._error(f"illegal character {ch!r}")
+
+
+def lex(source: str) -> List[Token]:
+    """Lex ``source`` into a token list ending with EOF."""
+    return Lexer(source).tokens()

@@ -1,0 +1,39 @@
+"""Parameterized RTL generators.
+
+Real-world Verilog corpora (what the paper scrapes from GitHub) are full of
+small, heavily-reused design idioms: counters, muxes, ALUs, FIFOs, FSMs.
+This package generates such modules with randomized parameters and surface
+style, giving the reproduction a corpus with realistic structure for every
+downstream consumer:
+
+* the synthetic GitHub world (:mod:`repro.github`) populates repositories
+  with these files (plus injected license/copyright headers, duplicates,
+  and corrupted files);
+* the copyrighted corpus for the infringement benchmark
+  (:mod:`repro.copyright`) is generated from the same families with
+  proprietary headers;
+* the mini-VerilogEval problems (:mod:`repro.vereval`) are
+  held-out draws with golden RTL and English descriptions.
+
+Every generator returns a :class:`~repro.vgen.base.GeneratedModule` whose
+source parses and simulates under :mod:`repro.verilog` / :mod:`repro.sim`.
+"""
+
+from repro.vgen.base import (
+    GeneratedModule,
+    ModuleInterface,
+    Style,
+    random_style,
+)
+from repro.vgen.registry import FAMILIES, generate, generate_family, family_names
+
+__all__ = [
+    "GeneratedModule",
+    "ModuleInterface",
+    "Style",
+    "random_style",
+    "FAMILIES",
+    "generate",
+    "generate_family",
+    "family_names",
+]

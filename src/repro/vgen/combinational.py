@@ -1,0 +1,663 @@
+"""Combinational RTL generator families."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.utils.rng import DeterministicRNG
+from repro.vgen.base import (
+    GeneratedModule,
+    ModuleInterface,
+    Style,
+    pick,
+    random_style,
+    reindent,
+    width_phrase,
+)
+
+
+def _style(rng: DeterministicRNG, style: Optional[Style]) -> Style:
+    return style if style is not None else random_style(rng)
+
+
+def gen_adder(rng: DeterministicRNG, style: Optional[Style] = None) -> GeneratedModule:
+    """N-bit adder with optional carry-in/carry-out."""
+    style = _style(rng, style)
+    width = rng.choice([4, 8, 12, 16, 24, 32])
+    has_cin = rng.maybe(0.5)
+    has_cout = rng.maybe(0.7)
+    name = pick(["adder", "add_unit", "full_adder_n", "rtl_adder"], style)
+    cin_port = ", input wire cin" if has_cin else ""
+    cin_term = " + cin" if has_cin else ""
+    if has_cout:
+        ports = f"output wire [{width-1}:0] sum, output wire cout"
+        body = f"assign {{cout, sum}} = a + b{cin_term};"
+        outputs = [("sum", width), ("cout", 1)]
+    else:
+        ports = f"output wire [{width-1}:0] sum"
+        body = f"assign sum = a + b{cin_term};"
+        outputs = [("sum", width)]
+    header = style.comment_block(
+        f"{width_phrase(width)} adder",
+        [f"{width_phrase(width)} combinational adder",
+         "sum = a + b" + (" + cin" if has_cin else "")],
+    )
+    source = header + reindent(
+        f"""module {name}(
+    input wire [{width-1}:0] a,
+    input wire [{width-1}:0] b{cin_port},
+    {ports}
+);
+    {body}
+endmodule
+""",
+        style,
+    )
+    inputs = [("a", width), ("b", width)] + ([("cin", 1)] if has_cin else [])
+    description = (
+        f"Implement a {width_phrase(width)} combinational adder that adds "
+        f"inputs a and b{' and a carry-in bit cin' if has_cin else ''}"
+        + (
+            " and produces the sum along with a carry-out bit cout."
+            if has_cout
+            else " and produces the sum."
+        )
+    )
+    return GeneratedModule(
+        family="adder",
+        source=source,
+        interface=ModuleInterface(
+            module_name=name, inputs=inputs, outputs=outputs
+        ),
+        description=description,
+        params={"width": width, "has_cin": int(has_cin), "has_cout": int(has_cout)},
+    )
+
+
+def gen_alu(rng: DeterministicRNG, style: Optional[Style] = None) -> GeneratedModule:
+    """Small behavioural ALU selected by an opcode."""
+    style = _style(rng, style)
+    width = rng.choice([4, 8, 16, 32])
+    ops = [
+        ("a + b", "addition"),
+        ("a - b", "subtraction"),
+        ("a & b", "bitwise AND"),
+        ("a | b", "bitwise OR"),
+        ("a ^ b", "bitwise XOR"),
+        ("~a", "bitwise NOT of a"),
+        ("a << 1", "left shift of a by one"),
+        ("a >> 1", "right shift of a by one"),
+    ]
+    n_ops = rng.choice([4, 8])
+    chosen = ops[:n_ops]
+    sel_width = 2 if n_ops == 4 else 3
+    name = pick(["alu", "alu_core", "simple_alu", "arith_unit"], style)
+    arms = "\n".join(
+        f"            {sel_width}'d{i}: y = {expr};"
+        for i, (expr, _) in enumerate(chosen[:-1])
+    )
+    op_list = "; ".join(
+        f"op={i}: {desc}" for i, (_, desc) in enumerate(chosen)
+    )
+    header = style.comment_block(f"{width_phrase(width)} ALU with {n_ops} operations")
+    source = header + reindent(
+        f"""module {name}(
+    input wire [{width-1}:0] a,
+    input wire [{width-1}:0] b,
+    input wire [{sel_width-1}:0] op,
+    output reg [{width-1}:0] y
+);
+    always @(*) begin
+        case (op)
+{arms}
+            default: y = {chosen[-1][0]};
+        endcase
+    end
+endmodule
+""",
+        style,
+    )
+    description = (
+        f"Implement a {width_phrase(width)} ALU with a {sel_width}-bit opcode "
+        f"input op selecting the result y as follows: {op_list}."
+    )
+    return GeneratedModule(
+        family="alu",
+        source=source,
+        interface=ModuleInterface(
+            module_name=name,
+            inputs=[("a", width), ("b", width), ("op", sel_width)],
+            outputs=[("y", width)],
+        ),
+        description=description,
+        params={"width": width, "n_ops": n_ops},
+    )
+
+
+def gen_mux(rng: DeterministicRNG, style: Optional[Style] = None) -> GeneratedModule:
+    """2:1 / 4:1 / 8:1 multiplexer (ternary or case style)."""
+    style = _style(rng, style)
+    width = rng.choice([1, 4, 8, 16, 32])
+    ways = rng.choice([2, 4, 8])
+    sel_width = {2: 1, 4: 2, 8: 3}[ways]
+    name = pick(
+        [f"mux{ways}", f"mux{ways}to1", f"mux_{ways}way", f"data_mux{ways}"], style
+    )
+    in_ports = ",\n".join(
+        f"    input wire [{width-1}:0] d{i}" for i in range(ways)
+    )
+    if ways == 2 and rng.maybe(0.5):
+        body = "    assign y = sel ? d1 : d0;"
+        out_decl = f"output wire [{width-1}:0] y"
+    else:
+        arms = "\n".join(
+            f"            {sel_width}'d{i}: y = d{i};" for i in range(ways - 1)
+        )
+        body = reindent(
+            f"""    always @(*) begin
+        case (sel)
+{arms}
+            default: y = d{ways-1};
+        endcase
+    end""",
+            style,
+        )
+        out_decl = f"output reg [{width-1}:0] y"
+    header = style.comment_block(f"{ways}:1 multiplexer, {width_phrase(width)} data")
+    source = header + reindent(
+        f"""module {name}(
+{in_ports},
+    input wire [{sel_width-1}:0] sel,
+    {out_decl}
+);
+{body}
+endmodule
+""",
+        style,
+    )
+    description = (
+        f"Implement a {ways}-to-1 multiplexer for {width_phrase(width)} data. "
+        f"Inputs d0 through d{ways-1} are selected by the {sel_width}-bit "
+        f"select input sel, and the chosen input drives output y."
+    )
+    return GeneratedModule(
+        family="mux",
+        source=source,
+        interface=ModuleInterface(
+            module_name=name,
+            inputs=[(f"d{i}", width) for i in range(ways)] + [("sel", sel_width)],
+            outputs=[("y", width)],
+        ),
+        description=description,
+        params={"width": width, "ways": ways},
+    )
+
+
+def gen_decoder(rng: DeterministicRNG, style: Optional[Style] = None) -> GeneratedModule:
+    """Binary to one-hot decoder with optional enable."""
+    style = _style(rng, style)
+    sel_width = rng.choice([2, 3, 4])
+    ways = 1 << sel_width
+    has_en = rng.maybe(0.5)
+    name = pick(
+        [f"decoder{sel_width}to{ways}", f"dec_{ways}", "onehot_decoder", "bin2onehot"],
+        style,
+    )
+    en_port = "\n    input wire en," if has_en else ""
+    value = f"en ? ({ways}'d1 << sel) : {ways}'d0" if has_en else f"{ways}'d1 << sel"
+    header = style.comment_block(f"{sel_width}-to-{ways} one-hot decoder")
+    source = header + reindent(
+        f"""module {name}(
+    input wire [{sel_width-1}:0] sel,{en_port}
+    output wire [{ways-1}:0] y
+);
+    assign y = {value};
+endmodule
+""",
+        style,
+    )
+    description = (
+        f"Implement a {sel_width}-to-{ways} binary decoder. Output y is the "
+        f"one-hot encoding of the select input sel"
+        + (
+            ", gated by an active-high enable input en (all zeros when en is low)."
+            if has_en
+            else "."
+        )
+    )
+    inputs = [("sel", sel_width)] + ([("en", 1)] if has_en else [])
+    return GeneratedModule(
+        family="decoder",
+        source=source,
+        interface=ModuleInterface(
+            module_name=name, inputs=inputs, outputs=[("y", ways)]
+        ),
+        description=description,
+        params={"sel_width": sel_width, "has_en": int(has_en)},
+    )
+
+
+def gen_priority_encoder(
+    rng: DeterministicRNG, style: Optional[Style] = None
+) -> GeneratedModule:
+    """Priority encoder with a valid flag (highest bit wins)."""
+    style = _style(rng, style)
+    in_width = rng.choice([4, 8, 16])
+    out_width = {4: 2, 8: 3, 16: 4}[in_width]
+    name = pick(
+        ["priority_encoder", f"penc{in_width}", "prio_enc", "first_one_finder"],
+        style,
+    )
+    arms = "\n".join(
+        f"            if (in[{i}]) begin y = {out_width}'d{i}; valid = 1'b1; end"
+        for i in range(in_width)
+    )
+    header = style.comment_block(f"{in_width}-bit priority encoder (MSB priority)")
+    source = header + reindent(
+        f"""module {name}(
+    input wire [{in_width-1}:0] in,
+    output reg [{out_width-1}:0] y,
+    output reg valid
+);
+    integer i;
+    always @(*) begin
+        y = {out_width}'d0;
+        valid = 1'b0;
+        begin
+{arms}
+        end
+    end
+endmodule
+""",
+        style,
+    )
+    description = (
+        f"Implement a {in_width}-bit priority encoder. Output y is the index "
+        f"of the highest-priority set bit of input in, where bit "
+        f"{in_width-1} has the highest priority; output valid is high when "
+        f"any input bit is set, and y is 0 when no bit is set."
+    )
+    return GeneratedModule(
+        family="priority_encoder",
+        source=source,
+        interface=ModuleInterface(
+            module_name=name,
+            inputs=[("in", in_width)],
+            outputs=[("y", out_width), ("valid", 1)],
+        ),
+        description=description,
+        params={"in_width": in_width},
+    )
+
+
+def gen_comparator(
+    rng: DeterministicRNG, style: Optional[Style] = None
+) -> GeneratedModule:
+    """Magnitude comparator producing lt/eq/gt."""
+    style = _style(rng, style)
+    width = rng.choice([4, 8, 16, 32])
+    name = pick(["comparator", f"cmp{width}", "mag_cmp", "compare_unit"], style)
+    header = style.comment_block(f"{width_phrase(width)} unsigned comparator")
+    source = header + reindent(
+        f"""module {name}(
+    input wire [{width-1}:0] a,
+    input wire [{width-1}:0] b,
+    output wire lt,
+    output wire eq,
+    output wire gt
+);
+    assign lt = a < b;
+    assign eq = a == b;
+    assign gt = a > b;
+endmodule
+""",
+        style,
+    )
+    description = (
+        f"Implement a {width_phrase(width)} unsigned magnitude comparator "
+        f"with outputs lt (a < b), eq (a == b), and gt (a > b)."
+    )
+    return GeneratedModule(
+        family="comparator",
+        source=source,
+        interface=ModuleInterface(
+            module_name=name,
+            inputs=[("a", width), ("b", width)],
+            outputs=[("lt", 1), ("eq", 1), ("gt", 1)],
+        ),
+        description=description,
+        params={"width": width},
+    )
+
+
+def gen_parity(rng: DeterministicRNG, style: Optional[Style] = None) -> GeneratedModule:
+    """Even/odd parity generator."""
+    style = _style(rng, style)
+    width = rng.choice([4, 8, 16, 32])
+    even = rng.maybe(0.5)
+    name = pick(["parity_gen", f"parity{width}", "par_unit", "parity_checker"], style)
+    expr = "~^data" if even else "^data"
+    kind = "even" if even else "odd"
+    header = style.comment_block(f"{kind} parity over {width} bits")
+    source = header + reindent(
+        f"""module {name}(
+    input wire [{width-1}:0] data,
+    output wire parity
+);
+    assign parity = {expr};
+endmodule
+""",
+        style,
+    )
+    description = (
+        f"Implement a {kind} parity generator over a {width_phrase(width)} "
+        f"input data. Output parity is "
+        + (
+            "1 when the number of set bits in data is even."
+            if even
+            else "the XOR of all bits of data (1 for an odd number of ones)."
+        )
+    )
+    return GeneratedModule(
+        family="parity",
+        source=source,
+        interface=ModuleInterface(
+            module_name=name, inputs=[("data", width)], outputs=[("parity", 1)]
+        ),
+        description=description,
+        params={"width": width, "even": int(even)},
+    )
+
+
+def gen_gray(rng: DeterministicRNG, style: Optional[Style] = None) -> GeneratedModule:
+    """Binary-to-Gray converter."""
+    style = _style(rng, style)
+    width = rng.choice([4, 8, 16])
+    name = pick(["bin2gray", f"gray_enc{width}", "gray_encoder", "b2g"], style)
+    header = style.comment_block(f"{width_phrase(width)} binary-to-Gray encoder")
+    source = header + reindent(
+        f"""module {name}(
+    input wire [{width-1}:0] bin,
+    output wire [{width-1}:0] gray
+);
+    assign gray = bin ^ (bin >> 1);
+endmodule
+""",
+        style,
+    )
+    description = (
+        f"Implement a {width_phrase(width)} binary-to-Gray-code converter: "
+        f"output gray equals bin XOR (bin shifted right by one)."
+    )
+    return GeneratedModule(
+        family="gray",
+        source=source,
+        interface=ModuleInterface(
+            module_name=name, inputs=[("bin", width)], outputs=[("gray", width)]
+        ),
+        description=description,
+        params={"width": width},
+    )
+
+
+def gen_shifter(rng: DeterministicRNG, style: Optional[Style] = None) -> GeneratedModule:
+    """Barrel shifter (logical left/right by variable amount)."""
+    style = _style(rng, style)
+    width = rng.choice([8, 16, 32])
+    sh_width = {8: 3, 16: 4, 32: 5}[width]
+    name = pick(["barrel_shifter", f"shifter{width}", "shift_unit", "bshift"], style)
+    header = style.comment_block(f"{width_phrase(width)} barrel shifter")
+    source = header + reindent(
+        f"""module {name}(
+    input wire [{width-1}:0] data,
+    input wire [{sh_width-1}:0] amount,
+    input wire dir,
+    output wire [{width-1}:0] result
+);
+    assign result = dir ? (data >> amount) : (data << amount);
+endmodule
+""",
+        style,
+    )
+    description = (
+        f"Implement a {width_phrase(width)} barrel shifter. When dir is 0 "
+        f"the data input is shifted left by amount; when dir is 1 it is "
+        f"shifted logically right by amount. The shifted value drives result."
+    )
+    return GeneratedModule(
+        family="shifter",
+        source=source,
+        interface=ModuleInterface(
+            module_name=name,
+            inputs=[("data", width), ("amount", sh_width), ("dir", 1)],
+            outputs=[("result", width)],
+        ),
+        description=description,
+        params={"width": width},
+    )
+
+
+def gen_min_max(rng: DeterministicRNG, style: Optional[Style] = None) -> GeneratedModule:
+    """Min/max selector between two operands."""
+    style = _style(rng, style)
+    width = rng.choice([4, 8, 16, 32])
+    want_max = rng.maybe(0.5)
+    kind = "max" if want_max else "min"
+    name = pick([f"{kind}_unit", f"{kind}{width}", f"{kind}_select", f"u{kind}"], style)
+    cmp_op = ">" if want_max else "<"
+    header = style.comment_block(f"{width_phrase(width)} unsigned {kind}")
+    source = header + reindent(
+        f"""module {name}(
+    input wire [{width-1}:0] a,
+    input wire [{width-1}:0] b,
+    output wire [{width-1}:0] y
+);
+    assign y = (a {cmp_op} b) ? a : b;
+endmodule
+""",
+        style,
+    )
+    description = (
+        f"Implement a {width_phrase(width)} unsigned {kind} unit: output y "
+        f"is the {'larger' if want_max else 'smaller'} of inputs a and b."
+    )
+    return GeneratedModule(
+        family="min_max",
+        source=source,
+        interface=ModuleInterface(
+            module_name=name,
+            inputs=[("a", width), ("b", width)],
+            outputs=[("y", width)],
+        ),
+        description=description,
+        params={"width": width, "max": int(want_max)},
+    )
+
+
+def gen_abs_diff(rng: DeterministicRNG, style: Optional[Style] = None) -> GeneratedModule:
+    """Absolute difference |a - b|."""
+    style = _style(rng, style)
+    width = rng.choice([4, 8, 16])
+    name = pick(["abs_diff", f"absdiff{width}", "sad_unit", "delta_abs"], style)
+    header = style.comment_block(f"{width_phrase(width)} absolute difference")
+    source = header + reindent(
+        f"""module {name}(
+    input wire [{width-1}:0] a,
+    input wire [{width-1}:0] b,
+    output wire [{width-1}:0] diff
+);
+    assign diff = (a > b) ? (a - b) : (b - a);
+endmodule
+""",
+        style,
+    )
+    description = (
+        f"Implement a {width_phrase(width)} absolute-difference unit: "
+        f"output diff equals |a - b| for unsigned inputs a and b."
+    )
+    return GeneratedModule(
+        family="abs_diff",
+        source=source,
+        interface=ModuleInterface(
+            module_name=name,
+            inputs=[("a", width), ("b", width)],
+            outputs=[("diff", width)],
+        ),
+        description=description,
+        params={"width": width},
+    )
+
+
+def gen_popcount(rng: DeterministicRNG, style: Optional[Style] = None) -> GeneratedModule:
+    """Population count via a combinational for loop."""
+    style = _style(rng, style)
+    width = rng.choice([4, 8, 16])
+    out_width = {4: 3, 8: 4, 16: 5}[width]
+    name = pick(["popcount", f"ones_count{width}", "bit_counter", "hamming_weight"], style)
+    header = style.comment_block(f"{width}-bit population count")
+    source = header + reindent(
+        f"""module {name}(
+    input wire [{width-1}:0] data,
+    output reg [{out_width-1}:0] count
+);
+    integer i;
+    always @(*) begin
+        count = {out_width}'d0;
+        for (i = 0; i < {width}; i = i + 1) begin
+            count = count + {{{out_width-1}'d0, data[i]}};
+        end
+    end
+endmodule
+""",
+        style,
+    )
+    description = (
+        f"Implement a population-count circuit for a {width_phrase(width)} "
+        f"input data: output count is the number of bits of data that are 1."
+    )
+    return GeneratedModule(
+        family="popcount",
+        source=source,
+        interface=ModuleInterface(
+            module_name=name, inputs=[("data", width)], outputs=[("count", out_width)]
+        ),
+        description=description,
+        params={"width": width},
+    )
+
+
+def gen_seven_seg(rng: DeterministicRNG, style: Optional[Style] = None) -> GeneratedModule:
+    """Hex digit to 7-segment decoder (active-high segments)."""
+    style = _style(rng, style)
+    name = pick(["seven_seg", "hex7seg", "sseg_decoder", "seg7"], style)
+    table = [
+        0x3F, 0x06, 0x5B, 0x4F, 0x66, 0x6D, 0x7D, 0x07,
+        0x7F, 0x6F, 0x77, 0x7C, 0x39, 0x5E, 0x79, 0x71,
+    ]
+    arms = "\n".join(
+        f"            4'h{i:X}: seg = 7'h{table[i]:02X};" for i in range(15)
+    )
+    header = style.comment_block("hex to 7-segment decoder (active high)")
+    source = header + reindent(
+        f"""module {name}(
+    input wire [3:0] digit,
+    output reg [6:0] seg
+);
+    always @(*) begin
+        case (digit)
+{arms}
+            default: seg = 7'h{table[15]:02X};
+        endcase
+    end
+endmodule
+""",
+        style,
+    )
+    description = (
+        "Implement a hexadecimal to seven-segment decoder with active-high "
+        "segment outputs seg[6:0] (seg[0]=a ... seg[6]=g) for the 4-bit "
+        "input digit, using the standard 0-F segment patterns."
+    )
+    return GeneratedModule(
+        family="seven_seg",
+        source=source,
+        interface=ModuleInterface(
+            module_name=name, inputs=[("digit", 4)], outputs=[("seg", 7)]
+        ),
+        description=description,
+        params={},
+    )
+
+
+def gen_addsub(rng: DeterministicRNG, style: Optional[Style] = None) -> GeneratedModule:
+    """Combined adder/subtractor selected by a mode bit."""
+    style = _style(rng, style)
+    width = rng.choice([4, 8, 16, 32])
+    name = pick(["addsub", f"addsub{width}", "add_sub_unit", "arith_addsub"], style)
+    header = style.comment_block(f"{width_phrase(width)} adder/subtractor")
+    source = header + reindent(
+        f"""module {name}(
+    input wire [{width-1}:0] a,
+    input wire [{width-1}:0] b,
+    input wire sub,
+    output wire [{width-1}:0] result
+);
+    assign result = sub ? (a - b) : (a + b);
+endmodule
+""",
+        style,
+    )
+    description = (
+        f"Implement a {width_phrase(width)} adder/subtractor: when the sub "
+        f"input is 0 the result output is a + b, and when sub is 1 it is "
+        f"a - b (modulo 2^{width})."
+    )
+    return GeneratedModule(
+        family="addsub",
+        source=source,
+        interface=ModuleInterface(
+            module_name=name,
+            inputs=[("a", width), ("b", width), ("sub", 1)],
+            outputs=[("result", width)],
+        ),
+        description=description,
+        params={"width": width},
+    )
+
+
+def gen_zero_detect(
+    rng: DeterministicRNG, style: Optional[Style] = None
+) -> GeneratedModule:
+    """Zero/all-ones detector flags."""
+    style = _style(rng, style)
+    width = rng.choice([4, 8, 16, 32])
+    name = pick(["zero_detect", f"zdet{width}", "allzero_allones", "vec_flags"], style)
+    header = style.comment_block(f"{width_phrase(width)} zero / all-ones detect")
+    source = header + reindent(
+        f"""module {name}(
+    input wire [{width-1}:0] data,
+    output wire all_zero,
+    output wire all_one
+);
+    assign all_zero = ~|data;
+    assign all_one = &data;
+endmodule
+""",
+        style,
+    )
+    description = (
+        f"Implement flag logic for a {width_phrase(width)} input data: "
+        f"output all_zero is high when every bit of data is 0, and output "
+        f"all_one is high when every bit of data is 1."
+    )
+    return GeneratedModule(
+        family="zero_detect",
+        source=source,
+        interface=ModuleInterface(
+            module_name=name,
+            inputs=[("data", width)],
+            outputs=[("all_zero", 1), ("all_one", 1)],
+        ),
+        description=description,
+        params={"width": width},
+    )

@@ -1,0 +1,280 @@
+"""Memory-structured RTL generator families: register files, RAMs, FIFOs."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.utils.rng import DeterministicRNG
+from repro.vgen.base import (
+    GeneratedModule,
+    ModuleInterface,
+    Style,
+    pick,
+    random_style,
+    reindent,
+    width_phrase,
+)
+
+
+def _style(rng: DeterministicRNG, style: Optional[Style]) -> Style:
+    return style if style is not None else random_style(rng)
+
+
+def gen_register_file(
+    rng: DeterministicRNG, style: Optional[Style] = None
+) -> GeneratedModule:
+    """Single-write single-read register file with async read."""
+    style = _style(rng, style)
+    width = rng.choice([8, 16, 32])
+    depth_bits = rng.choice([2, 3, 4])
+    depth = 1 << depth_bits
+    name = pick(
+        ["regfile", f"register_file_{depth}x{width}", "rf_unit", "reg_bank"], style
+    )
+    mem = pick(["mem", "regs", "storage", "bank"], style)
+    header = style.comment_block(f"{depth}x{width} register file")
+    source = header + reindent(
+        f"""module {name}(
+    input wire clk,
+    input wire we,
+    input wire [{depth_bits-1}:0] waddr,
+    input wire [{width-1}:0] wdata,
+    input wire [{depth_bits-1}:0] raddr,
+    output wire [{width-1}:0] rdata
+);
+    reg [{width-1}:0] {mem} [0:{depth-1}];
+    always @(posedge clk) begin
+        if (we)
+            {mem}[waddr] <= wdata;
+    end
+    assign rdata = {mem}[raddr];
+endmodule
+""",
+        style,
+    )
+    description = (
+        f"Implement a register file with {depth} entries of "
+        f"{width_phrase(width)} data. Writes are synchronous: when we is "
+        f"high, wdata is stored at waddr on the clock edge. Reads are "
+        f"combinational: rdata continuously reflects the entry at raddr."
+    )
+    return GeneratedModule(
+        family="register_file",
+        source=source,
+        interface=ModuleInterface(
+            module_name=name,
+            clock="clk",
+            reset=None,
+            inputs=[
+                ("we", 1),
+                ("waddr", depth_bits),
+                ("wdata", width),
+                ("raddr", depth_bits),
+            ],
+            outputs=[("rdata", width)],
+        ),
+        description=description,
+        params={"width": width, "depth": depth},
+    )
+
+
+def gen_sync_ram(
+    rng: DeterministicRNG, style: Optional[Style] = None
+) -> GeneratedModule:
+    """Synchronous-read single-port RAM."""
+    style = _style(rng, style)
+    width = rng.choice([8, 16, 32])
+    depth_bits = rng.choice([3, 4, 5])
+    depth = 1 << depth_bits
+    name = pick(
+        [f"spram_{depth}x{width}", "sync_ram", "single_port_ram", "ram_block"], style
+    )
+    mem = pick(["mem", "ram", "array", "cells"], style)
+    header = style.comment_block(f"{depth}x{width} single-port synchronous RAM")
+    source = header + reindent(
+        f"""module {name}(
+    input wire clk,
+    input wire we,
+    input wire [{depth_bits-1}:0] addr,
+    input wire [{width-1}:0] din,
+    output reg [{width-1}:0] dout
+);
+    reg [{width-1}:0] {mem} [0:{depth-1}];
+    always @(posedge clk) begin
+        if (we)
+            {mem}[addr] <= din;
+        dout <= {mem}[addr];
+    end
+endmodule
+""",
+        style,
+    )
+    description = (
+        f"Implement a single-port synchronous RAM with {depth} words of "
+        f"{width_phrase(width)} data. On each clock edge, din is written to "
+        f"addr when we is high, and dout registers the (pre-write) value at "
+        f"addr (read-before-write behaviour)."
+    )
+    return GeneratedModule(
+        family="sync_ram",
+        source=source,
+        interface=ModuleInterface(
+            module_name=name,
+            clock="clk",
+            reset=None,
+            inputs=[("we", 1), ("addr", depth_bits), ("din", width)],
+            outputs=[("dout", width)],
+        ),
+        description=description,
+        params={"width": width, "depth": depth},
+    )
+
+
+def gen_fifo(rng: DeterministicRNG, style: Optional[Style] = None) -> GeneratedModule:
+    """Synchronous FIFO with full/empty flags and count."""
+    style = _style(rng, style)
+    width = rng.choice([8, 16])
+    depth_bits = rng.choice([2, 3, 4])
+    depth = 1 << depth_bits
+    name = pick(
+        [f"sync_fifo_{depth}x{width}", "fifo", "sync_fifo", "queue_fifo"], style
+    )
+    mem = pick(["mem", "buffer", "storage", "entries"], style)
+    header = style.comment_block(f"{depth}-deep synchronous FIFO")
+    source = header + reindent(
+        f"""module {name}(
+    input wire clk,
+    input wire rst,
+    input wire push,
+    input wire pop,
+    input wire [{width-1}:0] din,
+    output wire [{width-1}:0] dout,
+    output wire full,
+    output wire empty,
+    output wire [{depth_bits}:0] count
+);
+    reg [{width-1}:0] {mem} [0:{depth-1}];
+    reg [{depth_bits-1}:0] wptr;
+    reg [{depth_bits-1}:0] rptr;
+    reg [{depth_bits}:0] fill;
+    wire do_push;
+    wire do_pop;
+    assign do_push = push && !full;
+    assign do_pop = pop && !empty;
+    always @(posedge clk) begin
+        if (rst) begin
+            wptr <= {depth_bits}'d0;
+            rptr <= {depth_bits}'d0;
+            fill <= {depth_bits+1}'d0;
+        end else begin
+            if (do_push) begin
+                {mem}[wptr] <= din;
+                wptr <= wptr + 1'b1;
+            end
+            if (do_pop) begin
+                rptr <= rptr + 1'b1;
+            end
+            fill <= fill + {{{depth_bits}'d0, do_push}} - {{{depth_bits}'d0, do_pop}};
+        end
+    end
+    assign dout = {mem}[rptr];
+    assign full = (fill == {depth_bits+1}'d{depth});
+    assign empty = (fill == {depth_bits+1}'d0);
+    assign count = fill;
+endmodule
+""",
+        style,
+    )
+    description = (
+        f"Implement a synchronous FIFO with {depth} entries of "
+        f"{width_phrase(width)} data and synchronous reset rst. push writes "
+        f"din when not full; pop advances the read pointer when not empty; "
+        f"dout shows the oldest entry combinationally; full, empty, and the "
+        f"{depth_bits+1}-bit count output reflect the current occupancy. "
+        f"Pushes when full and pops when empty are ignored."
+    )
+    return GeneratedModule(
+        family="fifo",
+        source=source,
+        interface=ModuleInterface(
+            module_name=name,
+            clock="clk",
+            reset="rst",
+            inputs=[("push", 1), ("pop", 1), ("din", width)],
+            outputs=[
+                ("dout", width),
+                ("full", 1),
+                ("empty", 1),
+                ("count", depth_bits + 1),
+            ],
+        ),
+        description=description,
+        params={"width": width, "depth": depth},
+    )
+
+
+def gen_stack(rng: DeterministicRNG, style: Optional[Style] = None) -> GeneratedModule:
+    """LIFO stack with push/pop and top-of-stack output."""
+    style = _style(rng, style)
+    width = rng.choice([8, 16])
+    depth_bits = rng.choice([2, 3])
+    depth = 1 << depth_bits
+    name = pick([f"stack_{depth}x{width}", "lifo_stack", "hw_stack", "stack"], style)
+    mem = pick(["mem", "slots", "storage", "cells"], style)
+    header = style.comment_block(f"{depth}-deep hardware stack")
+    source = header + reindent(
+        f"""module {name}(
+    input wire clk,
+    input wire rst,
+    input wire push,
+    input wire pop,
+    input wire [{width-1}:0] din,
+    output wire [{width-1}:0] tos,
+    output wire full,
+    output wire empty
+);
+    reg [{width-1}:0] {mem} [0:{depth-1}];
+    reg [{depth_bits}:0] sp;
+    wire do_push;
+    wire do_pop;
+    assign do_push = push && !full;
+    assign do_pop = pop && !empty && !push;
+    always @(posedge clk) begin
+        if (rst) begin
+            sp <= {depth_bits+1}'d0;
+        end else begin
+            if (do_push) begin
+                {mem}[sp[{depth_bits-1}:0]] <= din;
+                sp <= sp + 1'b1;
+            end else if (do_pop) begin
+                sp <= sp - 1'b1;
+            end
+        end
+    end
+    assign tos = {mem}[sp[{depth_bits-1}:0] - {depth_bits}'d1];
+    assign full = (sp == {depth_bits+1}'d{depth});
+    assign empty = (sp == {depth_bits+1}'d0);
+endmodule
+""",
+        style,
+    )
+    description = (
+        f"Implement a hardware LIFO stack with {depth} entries of "
+        f"{width_phrase(width)} data and synchronous reset rst. push stores "
+        f"din at the stack pointer and increments it (when not full); pop "
+        f"decrements the pointer (when not empty and push is low); tos "
+        f"shows the top-of-stack value; full and empty reflect the pointer."
+    )
+    return GeneratedModule(
+        family="stack",
+        source=source,
+        interface=ModuleInterface(
+            module_name=name,
+            clock="clk",
+            reset="rst",
+            inputs=[("push", 1), ("pop", 1), ("din", width)],
+            outputs=[("tos", width), ("full", 1), ("empty", 1)],
+        ),
+        description=description,
+        params={"width": width, "depth": depth},
+    )

@@ -1,0 +1,75 @@
+"""Registry of all generator families with uniform entry points."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import ReproError
+from repro.utils.rng import DeterministicRNG
+from repro.vgen import combinational as comb
+from repro.vgen import memory as mem
+from repro.vgen import sequential as seq
+from repro.vgen.base import GeneratedModule, Style
+
+GeneratorFn = Callable[[DeterministicRNG, Optional[Style]], GeneratedModule]
+
+#: family name -> generator.  Order is stable (affects seeded sampling).
+FAMILIES: Dict[str, GeneratorFn] = {
+    # combinational
+    "adder": comb.gen_adder,
+    "addsub": comb.gen_addsub,
+    "alu": comb.gen_alu,
+    "mux": comb.gen_mux,
+    "decoder": comb.gen_decoder,
+    "priority_encoder": comb.gen_priority_encoder,
+    "comparator": comb.gen_comparator,
+    "parity": comb.gen_parity,
+    "gray": comb.gen_gray,
+    "shifter": comb.gen_shifter,
+    "min_max": comb.gen_min_max,
+    "abs_diff": comb.gen_abs_diff,
+    "popcount": comb.gen_popcount,
+    "seven_seg": comb.gen_seven_seg,
+    "zero_detect": comb.gen_zero_detect,
+    # sequential
+    "counter": seq.gen_counter,
+    "mod_counter": seq.gen_mod_counter,
+    "shift_register": seq.gen_shift_register,
+    "edge_detector": seq.gen_edge_detector,
+    "sequence_detector": seq.gen_sequence_detector,
+    "accumulator": seq.gen_accumulator,
+    "pwm": seq.gen_pwm,
+    "clock_divider": seq.gen_clock_divider,
+    "lfsr": seq.gen_lfsr,
+    "register": seq.gen_register,
+    "saturating_counter": seq.gen_saturating_counter,
+    "toggle": seq.gen_toggle,
+    "traffic_fsm": seq.gen_traffic_fsm,
+    "onehot_rotator": seq.gen_onehot_rotator,
+    # memory
+    "register_file": mem.gen_register_file,
+    "sync_ram": mem.gen_sync_ram,
+    "fifo": mem.gen_fifo,
+    "stack": mem.gen_stack,
+}
+
+
+def family_names() -> List[str]:
+    return list(FAMILIES.keys())
+
+
+def generate_family(
+    family: str, rng: DeterministicRNG, style: Optional[Style] = None
+) -> GeneratedModule:
+    """Generate one module from the named family."""
+    try:
+        generator = FAMILIES[family]
+    except KeyError:
+        raise ReproError(f"unknown generator family {family!r}") from None
+    return generator(rng, style)
+
+
+def generate(rng: DeterministicRNG, style: Optional[Style] = None) -> GeneratedModule:
+    """Generate one module from a uniformly random family."""
+    family = rng.choice(family_names())
+    return generate_family(family, rng, style)

@@ -1,0 +1,837 @@
+"""Sequential (clocked) RTL generator families.
+
+All families use a synchronous active-high reset named ``rst`` and a clock
+named ``clk`` so the shared testbench protocol (reset, then drive/tick) is
+uniform across the corpus and the eval problems.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.utils.rng import DeterministicRNG
+from repro.vgen.base import (
+    GeneratedModule,
+    ModuleInterface,
+    Style,
+    pick,
+    random_style,
+    reindent,
+    width_phrase,
+)
+
+
+def _style(rng: DeterministicRNG, style: Optional[Style]) -> Style:
+    return style if style is not None else random_style(rng)
+
+
+def gen_counter(rng: DeterministicRNG, style: Optional[Style] = None) -> GeneratedModule:
+    """Up/down counter with enable and optional load."""
+    style = _style(rng, style)
+    width = rng.choice([4, 8, 12, 16])
+    direction = rng.choice(["up", "down", "updown"])
+    has_load = rng.maybe(0.4)
+    name = pick(
+        ["counter", f"{direction}_counter", f"cnt{width}", "sync_counter"], style
+    )
+    reg = pick(["count", "cnt", "count_reg", "q_int"], style)
+
+    extra_ports = ""
+    extra_inputs = []
+    if direction == "updown":
+        extra_ports += "\n    input wire up,"
+        extra_inputs.append(("up", 1))
+    if has_load:
+        extra_ports += f"\n    input wire load,\n    input wire [{width-1}:0] din,"
+        extra_inputs.extend([("load", 1), ("din", width)])
+
+    if direction == "up":
+        update = f"{reg} <= {reg} + 1'b1;"
+        behaviour = "increments by one"
+    elif direction == "down":
+        update = f"{reg} <= {reg} - 1'b1;"
+        behaviour = "decrements by one"
+    else:
+        update = reindent(
+            f"""if (up)
+                {reg} <= {reg} + 1'b1;
+            else
+                {reg} <= {reg} - 1'b1;""",
+            Style(indent="    "),
+        )
+        behaviour = "increments when up is high and decrements otherwise"
+
+    load_clause = (
+        f"""else if (load)
+            {reg} <= din;
+        """
+        if has_load
+        else ""
+    )
+    header = style.comment_block(f"{width_phrase(width)} {direction} counter")
+    source = header + reindent(
+        f"""module {name}(
+    input wire clk,
+    input wire rst,
+    input wire en,{extra_ports}
+    output wire [{width-1}:0] count
+);
+    reg [{width-1}:0] {reg};
+    always @(posedge clk) begin
+        if (rst)
+            {reg} <= {width}'d0;
+        {load_clause}else if (en) begin
+            {update}
+        end
+    end
+    assign count = {reg};
+endmodule
+""",
+        style,
+    )
+    description = (
+        f"Implement a {width_phrase(width)} synchronous counter with "
+        f"active-high synchronous reset rst and enable en. "
+        + (
+            "When load is high the counter loads din on the next clock edge. "
+            if has_load
+            else ""
+        )
+        + f"When enabled, the count output {behaviour} each clock cycle, "
+        f"wrapping modulo 2^{width}."
+    )
+    return GeneratedModule(
+        family="counter",
+        source=source,
+        interface=ModuleInterface(
+            module_name=name,
+            clock="clk",
+            reset="rst",
+            inputs=[("en", 1)] + extra_inputs,
+            outputs=[("count", width)],
+        ),
+        description=description,
+        params={"width": width, "direction": {"up": 0, "down": 1, "updown": 2}[direction],
+                "has_load": int(has_load)},
+    )
+
+
+def gen_mod_counter(
+    rng: DeterministicRNG, style: Optional[Style] = None
+) -> GeneratedModule:
+    """Modulo-N counter with terminal-count output."""
+    style = _style(rng, style)
+    modulo = rng.choice([5, 10, 12, 60, 100])
+    width = max(1, (modulo - 1).bit_length())
+    name = pick(
+        [f"mod{modulo}_counter", f"counter_mod{modulo}", "modn_counter", "divide_counter"],
+        style,
+    )
+    reg = pick(["count", "cnt", "value", "tick_count"], style)
+    header = style.comment_block(f"modulo-{modulo} counter with terminal count")
+    source = header + reindent(
+        f"""module {name}(
+    input wire clk,
+    input wire rst,
+    input wire en,
+    output wire [{width-1}:0] count,
+    output wire tc
+);
+    reg [{width-1}:0] {reg};
+    always @(posedge clk) begin
+        if (rst)
+            {reg} <= {width}'d0;
+        else if (en) begin
+            if ({reg} == {width}'d{modulo-1})
+                {reg} <= {width}'d0;
+            else
+                {reg} <= {reg} + 1'b1;
+        end
+    end
+    assign count = {reg};
+    assign tc = ({reg} == {width}'d{modulo-1});
+endmodule
+""",
+        style,
+    )
+    description = (
+        f"Implement a modulo-{modulo} counter with synchronous active-high "
+        f"reset rst and enable en. The count output counts 0 through "
+        f"{modulo-1} and wraps to 0; the tc output is high during the final "
+        f"count value {modulo-1}."
+    )
+    return GeneratedModule(
+        family="mod_counter",
+        source=source,
+        interface=ModuleInterface(
+            module_name=name,
+            clock="clk",
+            reset="rst",
+            inputs=[("en", 1)],
+            outputs=[("count", width), ("tc", 1)],
+        ),
+        description=description,
+        params={"modulo": modulo},
+    )
+
+
+def gen_shift_register(
+    rng: DeterministicRNG, style: Optional[Style] = None
+) -> GeneratedModule:
+    """Serial-in parallel-out shift register."""
+    style = _style(rng, style)
+    width = rng.choice([4, 8, 16])
+    msb_first = rng.maybe(0.5)
+    name = pick(
+        ["shift_register", f"sipo{width}", "shift_reg", "serial_shift"], style
+    )
+    reg = pick(["shreg", "sr", "shift_data", "data_reg"], style)
+    if msb_first:
+        update = f"{reg} <= {{{reg}[{width-2}:0], sin}};"
+        order = "towards the MSB (sin enters at bit 0)"
+    else:
+        update = f"{reg} <= {{sin, {reg}[{width-1}:1]}};"
+        order = "towards the LSB (sin enters at the MSB)"
+    header = style.comment_block(f"{width_phrase(width)} shift register")
+    source = header + reindent(
+        f"""module {name}(
+    input wire clk,
+    input wire rst,
+    input wire en,
+    input wire sin,
+    output wire [{width-1}:0] q
+);
+    reg [{width-1}:0] {reg};
+    always @(posedge clk) begin
+        if (rst)
+            {reg} <= {width}'d0;
+        else if (en) begin
+            {update}
+        end
+    end
+    assign q = {reg};
+endmodule
+""",
+        style,
+    )
+    description = (
+        f"Implement a {width_phrase(width)} serial-in parallel-out shift "
+        f"register with synchronous reset rst and enable en. On each "
+        f"enabled clock edge the register shifts {order}, and the full "
+        f"register value drives q."
+    )
+    return GeneratedModule(
+        family="shift_register",
+        source=source,
+        interface=ModuleInterface(
+            module_name=name,
+            clock="clk",
+            reset="rst",
+            inputs=[("en", 1), ("sin", 1)],
+            outputs=[("q", width)],
+        ),
+        description=description,
+        params={"width": width, "msb_first": int(msb_first)},
+    )
+
+
+def gen_edge_detector(
+    rng: DeterministicRNG, style: Optional[Style] = None
+) -> GeneratedModule:
+    """Rising/falling/any edge detector with a registered delay stage."""
+    style = _style(rng, style)
+    kind = rng.choice(["rising", "falling", "both"])
+    name = pick(
+        [f"{kind}_edge_detector", "edge_detect", f"{kind}_edge", "pulse_on_edge"],
+        style,
+    )
+    prev = pick(["sig_d", "prev", "din_q", "last_sig"], style)
+    expr = {
+        "rising": f"sig & ~{prev}",
+        "falling": f"~sig & {prev}",
+        "both": f"sig ^ {prev}",
+    }[kind]
+    header = style.comment_block(f"{kind}-edge detector")
+    source = header + reindent(
+        f"""module {name}(
+    input wire clk,
+    input wire rst,
+    input wire sig,
+    output wire pulse
+);
+    reg {prev};
+    always @(posedge clk) begin
+        if (rst)
+            {prev} <= 1'b0;
+        else
+            {prev} <= sig;
+    end
+    assign pulse = {expr};
+endmodule
+""",
+        style,
+    )
+    what = {
+        "rising": "a 0-to-1 transition",
+        "falling": "a 1-to-0 transition",
+        "both": "any transition",
+    }[kind]
+    description = (
+        f"Implement a {kind}-edge detector with synchronous reset rst. The "
+        f"pulse output goes high for one cycle whenever the sig input makes "
+        f"{what} relative to its value at the previous clock edge."
+    )
+    return GeneratedModule(
+        family="edge_detector",
+        source=source,
+        interface=ModuleInterface(
+            module_name=name,
+            clock="clk",
+            reset="rst",
+            inputs=[("sig", 1)],
+            outputs=[("pulse", 1)],
+        ),
+        description=description,
+        params={"kind": {"rising": 0, "falling": 1, "both": 2}[kind]},
+    )
+
+
+def gen_sequence_detector(
+    rng: DeterministicRNG, style: Optional[Style] = None
+) -> GeneratedModule:
+    """Mealy-style overlapping sequence detector via a shift register."""
+    style = _style(rng, style)
+    length = rng.choice([3, 4, 5])
+    pattern = rng.randint(1, (1 << length) - 2)
+    bits = format(pattern, f"0{length}b")
+    name = pick(
+        [f"seq_detect_{bits}", "sequence_detector", f"detect{bits}", "pattern_finder"],
+        style,
+    )
+    reg = pick(["history", "shreg", "window", "bits_seen"], style)
+    header = style.comment_block(f"detector for bit sequence {bits}")
+    source = header + reindent(
+        f"""module {name}(
+    input wire clk,
+    input wire rst,
+    input wire din,
+    output wire found
+);
+    reg [{length-1}:0] {reg};
+    always @(posedge clk) begin
+        if (rst)
+            {reg} <= {length}'d0;
+        else
+            {reg} <= {{{reg}[{length-2}:0], din}};
+    end
+    assign found = ({reg} == {length}'b{bits});
+endmodule
+""",
+        style,
+    )
+    description = (
+        f"Implement an overlapping sequence detector for the {length}-bit "
+        f"pattern {bits} (oldest bit first) on the serial input din, with "
+        f"synchronous reset rst. The found output is high whenever the last "
+        f"{length} sampled bits equal the pattern."
+    )
+    return GeneratedModule(
+        family="sequence_detector",
+        source=source,
+        interface=ModuleInterface(
+            module_name=name,
+            clock="clk",
+            reset="rst",
+            inputs=[("din", 1)],
+            outputs=[("found", 1)],
+        ),
+        description=description,
+        params={"length": length, "pattern": pattern},
+    )
+
+
+def gen_accumulator(
+    rng: DeterministicRNG, style: Optional[Style] = None
+) -> GeneratedModule:
+    """Accumulator with enable and synchronous clear."""
+    style = _style(rng, style)
+    width = rng.choice([8, 16, 32])
+    name = pick(["accumulator", f"acc{width}", "running_sum", "acc_unit"], style)
+    reg = pick(["acc", "total", "sum_reg", "acc_value"], style)
+    header = style.comment_block(f"{width_phrase(width)} accumulator")
+    source = header + reindent(
+        f"""module {name}(
+    input wire clk,
+    input wire rst,
+    input wire en,
+    input wire [{width-1}:0] din,
+    output wire [{width-1}:0] acc_out
+);
+    reg [{width-1}:0] {reg};
+    always @(posedge clk) begin
+        if (rst)
+            {reg} <= {width}'d0;
+        else if (en)
+            {reg} <= {reg} + din;
+    end
+    assign acc_out = {reg};
+endmodule
+""",
+        style,
+    )
+    description = (
+        f"Implement a {width_phrase(width)} accumulator with synchronous "
+        f"reset rst and enable en. On each enabled clock edge the din input "
+        f"is added to the running total, which drives acc_out (wrapping "
+        f"modulo 2^{width})."
+    )
+    return GeneratedModule(
+        family="accumulator",
+        source=source,
+        interface=ModuleInterface(
+            module_name=name,
+            clock="clk",
+            reset="rst",
+            inputs=[("en", 1), ("din", width)],
+            outputs=[("acc_out", width)],
+        ),
+        description=description,
+        params={"width": width},
+    )
+
+
+def gen_pwm(rng: DeterministicRNG, style: Optional[Style] = None) -> GeneratedModule:
+    """PWM generator: output high while counter < duty."""
+    style = _style(rng, style)
+    width = rng.choice([4, 8])
+    name = pick(["pwm", f"pwm_gen{width}", "pwm_generator", "duty_pwm"], style)
+    reg = pick(["count", "phase", "pwm_cnt", "ramp"], style)
+    header = style.comment_block(f"{width}-bit PWM generator")
+    source = header + reindent(
+        f"""module {name}(
+    input wire clk,
+    input wire rst,
+    input wire [{width-1}:0] duty,
+    output wire pwm_out
+);
+    reg [{width-1}:0] {reg};
+    always @(posedge clk) begin
+        if (rst)
+            {reg} <= {width}'d0;
+        else
+            {reg} <= {reg} + 1'b1;
+    end
+    assign pwm_out = ({reg} < duty);
+endmodule
+""",
+        style,
+    )
+    description = (
+        f"Implement a {width}-bit PWM generator with synchronous reset rst. "
+        f"A free-running {width}-bit counter increments every clock cycle, "
+        f"and pwm_out is high while the counter is less than the duty input."
+    )
+    return GeneratedModule(
+        family="pwm",
+        source=source,
+        interface=ModuleInterface(
+            module_name=name,
+            clock="clk",
+            reset="rst",
+            inputs=[("duty", width)],
+            outputs=[("pwm_out", 1)],
+        ),
+        description=description,
+        params={"width": width},
+    )
+
+
+def gen_clock_divider(
+    rng: DeterministicRNG, style: Optional[Style] = None
+) -> GeneratedModule:
+    """Divide-by-2N toggle divider built from a modulo counter."""
+    style = _style(rng, style)
+    divide = rng.choice([2, 4, 8, 16])
+    width = max(1, (divide - 1).bit_length())
+    name = pick(
+        [f"clk_div{divide*2}", "clock_divider", f"divider_by{divide*2}", "clkgen"],
+        style,
+    )
+    reg = pick(["div_cnt", "count", "prescaler", "cnt"], style)
+    header = style.comment_block(f"divide-by-{divide*2} clock divider")
+    source = header + reindent(
+        f"""module {name}(
+    input wire clk,
+    input wire rst,
+    output reg clk_out
+);
+    reg [{width-1}:0] {reg};
+    always @(posedge clk) begin
+        if (rst) begin
+            {reg} <= {width}'d0;
+            clk_out <= 1'b0;
+        end else if ({reg} == {width}'d{divide-1}) begin
+            {reg} <= {width}'d0;
+            clk_out <= ~clk_out;
+        end else begin
+            {reg} <= {reg} + 1'b1;
+        end
+    end
+endmodule
+""",
+        style,
+    )
+    description = (
+        f"Implement a clock divider with synchronous reset rst. The clk_out "
+        f"output toggles once every {divide} input clock cycles, producing a "
+        f"square wave at 1/{divide*2} of the input clock frequency."
+    )
+    return GeneratedModule(
+        family="clock_divider",
+        source=source,
+        interface=ModuleInterface(
+            module_name=name,
+            clock="clk",
+            reset="rst",
+            inputs=[],
+            outputs=[("clk_out", 1)],
+        ),
+        description=description,
+        params={"divide": divide},
+    )
+
+
+def gen_lfsr(rng: DeterministicRNG, style: Optional[Style] = None) -> GeneratedModule:
+    """Fibonacci LFSR with a maximal-length tap set."""
+    style = _style(rng, style)
+    # (width, taps) pairs giving maximal-length sequences.
+    width, taps = rng.choice([(4, (3, 2)), (8, (7, 5, 4, 3)), (16, (15, 13, 12, 10))])
+    name = pick([f"lfsr{width}", "lfsr", "prbs_gen", "random_gen"], style)
+    reg = pick(["lfsr_reg", "state", "shift_reg", "rand_state"], style)
+    feedback = " ^ ".join(f"{reg}[{t}]" for t in taps)
+    header = style.comment_block(f"{width}-bit Fibonacci LFSR")
+    source = header + reindent(
+        f"""module {name}(
+    input wire clk,
+    input wire rst,
+    input wire en,
+    output wire [{width-1}:0] value
+);
+    reg [{width-1}:0] {reg};
+    wire feedback_bit;
+    assign feedback_bit = {feedback};
+    always @(posedge clk) begin
+        if (rst)
+            {reg} <= {width}'d1;
+        else if (en)
+            {reg} <= {{{reg}[{width-2}:0], feedback_bit}};
+    end
+    assign value = {reg};
+endmodule
+""",
+        style,
+    )
+    tap_list = ", ".join(str(t) for t in taps)
+    description = (
+        f"Implement a {width}-bit Fibonacci LFSR with synchronous reset rst "
+        f"(reset value 1) and enable en. On each enabled clock edge the "
+        f"register shifts left by one and the new bit 0 is the XOR of tap "
+        f"bits {tap_list}. The register value drives the value output."
+    )
+    return GeneratedModule(
+        family="lfsr",
+        source=source,
+        interface=ModuleInterface(
+            module_name=name,
+            clock="clk",
+            reset="rst",
+            inputs=[("en", 1)],
+            outputs=[("value", width)],
+        ),
+        description=description,
+        params={"width": width},
+    )
+
+
+def gen_register(rng: DeterministicRNG, style: Optional[Style] = None) -> GeneratedModule:
+    """D register with enable and optional synchronous clear-to-value."""
+    style = _style(rng, style)
+    width = rng.choice([1, 4, 8, 16, 32])
+    name = pick(["dff_en", f"reg{width}", "pipeline_reg", "data_register"], style)
+    header = style.comment_block(f"{width_phrase(width)} register with enable")
+    source = header + reindent(
+        f"""module {name}(
+    input wire clk,
+    input wire rst,
+    input wire en,
+    input wire [{width-1}:0] d,
+    output reg [{width-1}:0] q
+);
+    always @(posedge clk) begin
+        if (rst)
+            q <= {width}'d0;
+        else if (en)
+            q <= d;
+    end
+endmodule
+""",
+        style,
+    )
+    description = (
+        f"Implement a {width_phrase(width)} D register with synchronous "
+        f"active-high reset rst and enable en: on each clock edge q is "
+        f"cleared to 0 when rst is high, otherwise q captures d when en is "
+        f"high and holds its value when en is low."
+    )
+    return GeneratedModule(
+        family="register",
+        source=source,
+        interface=ModuleInterface(
+            module_name=name,
+            clock="clk",
+            reset="rst",
+            inputs=[("en", 1), ("d", width)],
+            outputs=[("q", width)],
+        ),
+        description=description,
+        params={"width": width},
+    )
+
+
+def gen_saturating_counter(
+    rng: DeterministicRNG, style: Optional[Style] = None
+) -> GeneratedModule:
+    """Two-input saturating up/down counter (branch-predictor style)."""
+    style = _style(rng, style)
+    width = rng.choice([2, 3, 4])
+    top = (1 << width) - 1
+    name = pick(
+        ["sat_counter", f"saturating_counter{width}", "bimodal_counter", "sat_updown"],
+        style,
+    )
+    reg = pick(["state", "count", "level", "confidence"], style)
+    header = style.comment_block(f"{width}-bit saturating up/down counter")
+    source = header + reindent(
+        f"""module {name}(
+    input wire clk,
+    input wire rst,
+    input wire inc,
+    input wire dec,
+    output wire [{width-1}:0] level
+);
+    reg [{width-1}:0] {reg};
+    always @(posedge clk) begin
+        if (rst)
+            {reg} <= {width}'d0;
+        else if (inc && !dec) begin
+            if ({reg} != {width}'d{top})
+                {reg} <= {reg} + 1'b1;
+        end else if (dec && !inc) begin
+            if ({reg} != {width}'d0)
+                {reg} <= {reg} - 1'b1;
+        end
+    end
+    assign level = {reg};
+endmodule
+""",
+        style,
+    )
+    description = (
+        f"Implement a {width}-bit saturating counter with synchronous reset "
+        f"rst. When inc is high (and dec low) the level increments but "
+        f"saturates at {top}; when dec is high (and inc low) it decrements "
+        f"but saturates at 0; otherwise it holds."
+    )
+    return GeneratedModule(
+        family="saturating_counter",
+        source=source,
+        interface=ModuleInterface(
+            module_name=name,
+            clock="clk",
+            reset="rst",
+            inputs=[("inc", 1), ("dec", 1)],
+            outputs=[("level", width)],
+        ),
+        description=description,
+        params={"width": width},
+    )
+
+
+def gen_toggle(rng: DeterministicRNG, style: Optional[Style] = None) -> GeneratedModule:
+    """T flip-flop with enable."""
+    style = _style(rng, style)
+    name = pick(["t_ff", "toggle_ff", "tff", "toggle_bit"], style)
+    header = style.comment_block("toggle flip-flop")
+    source = header + reindent(
+        f"""module {name}(
+    input wire clk,
+    input wire rst,
+    input wire t,
+    output reg q
+);
+    always @(posedge clk) begin
+        if (rst)
+            q <= 1'b0;
+        else if (t)
+            q <= ~q;
+    end
+endmodule
+""",
+        style,
+    )
+    description = (
+        "Implement a T flip-flop with synchronous active-high reset rst: "
+        "on each clock edge q toggles when the t input is high and holds "
+        "otherwise."
+    )
+    return GeneratedModule(
+        family="toggle",
+        source=source,
+        interface=ModuleInterface(
+            module_name=name,
+            clock="clk",
+            reset="rst",
+            inputs=[("t", 1)],
+            outputs=[("q", 1)],
+        ),
+        description=description,
+        params={},
+    )
+
+
+def gen_traffic_fsm(
+    rng: DeterministicRNG, style: Optional[Style] = None
+) -> GeneratedModule:
+    """Three-state rotating FSM (traffic-light pattern) with timers."""
+    style = _style(rng, style)
+    green = rng.choice([3, 4, 5])
+    yellow = rng.choice([1, 2])
+    red = rng.choice([2, 3, 4])
+    durations = [green, yellow, red]
+    width = max(d for d in durations).bit_length()
+    name = pick(
+        ["traffic_light", "traffic_fsm", "light_controller", "tl_ctrl"], style
+    )
+    state = pick(["state", "fsm_state", "cur_state", "phase"], style)
+    timer = pick(["timer", "ticks", "hold", "dwell"], style)
+    header = style.comment_block("traffic light controller FSM")
+    source = header + reindent(
+        f"""module {name}(
+    input wire clk,
+    input wire rst,
+    output wire [2:0] lights
+);
+    localparam S_GREEN = 2'd0;
+    localparam S_YELLOW = 2'd1;
+    localparam S_RED = 2'd2;
+    reg [1:0] {state};
+    reg [{width-1}:0] {timer};
+    always @(posedge clk) begin
+        if (rst) begin
+            {state} <= S_GREEN;
+            {timer} <= {width}'d0;
+        end else begin
+            case ({state})
+                S_GREEN: begin
+                    if ({timer} == {width}'d{green-1}) begin
+                        {state} <= S_YELLOW;
+                        {timer} <= {width}'d0;
+                    end else begin
+                        {timer} <= {timer} + 1'b1;
+                    end
+                end
+                S_YELLOW: begin
+                    if ({timer} == {width}'d{yellow-1}) begin
+                        {state} <= S_RED;
+                        {timer} <= {width}'d0;
+                    end else begin
+                        {timer} <= {timer} + 1'b1;
+                    end
+                end
+                default: begin
+                    if ({timer} == {width}'d{red-1}) begin
+                        {state} <= S_GREEN;
+                        {timer} <= {width}'d0;
+                    end else begin
+                        {timer} <= {timer} + 1'b1;
+                    end
+                end
+            endcase
+        end
+    end
+    assign lights = ({state} == S_GREEN) ? 3'b001 :
+                    ({state} == S_YELLOW) ? 3'b010 : 3'b100;
+endmodule
+""",
+        style,
+    )
+    description = (
+        f"Implement a traffic-light controller FSM with synchronous reset "
+        f"rst. The controller cycles green for {green} cycles, yellow for "
+        f"{yellow} cycles, then red for {red} cycles, repeating. The "
+        f"3-bit lights output is one-hot: bit 0 green, bit 1 yellow, bit 2 "
+        f"red. Reset enters the green state with its timer cleared."
+    )
+    return GeneratedModule(
+        family="traffic_fsm",
+        source=source,
+        interface=ModuleInterface(
+            module_name=name,
+            clock="clk",
+            reset="rst",
+            inputs=[],
+            outputs=[("lights", 3)],
+        ),
+        description=description,
+        params={"green": green, "yellow": yellow, "red": red},
+    )
+
+
+def gen_onehot_rotator(
+    rng: DeterministicRNG, style: Optional[Style] = None
+) -> GeneratedModule:
+    """Rotating one-hot ring counter."""
+    style = _style(rng, style)
+    width = rng.choice([4, 8])
+    name = pick(["ring_counter", f"ring{width}", "onehot_rotator", "walking_one"], style)
+    reg = pick(["ring", "hot", "state", "token"], style)
+    header = style.comment_block(f"{width}-bit ring counter")
+    source = header + reindent(
+        f"""module {name}(
+    input wire clk,
+    input wire rst,
+    input wire en,
+    output wire [{width-1}:0] q
+);
+    reg [{width-1}:0] {reg};
+    always @(posedge clk) begin
+        if (rst)
+            {reg} <= {width}'d1;
+        else if (en)
+            {reg} <= {{{reg}[{width-2}:0], {reg}[{width-1}]}};
+    end
+    assign q = {reg};
+endmodule
+""",
+        style,
+    )
+    description = (
+        f"Implement a {width}-bit one-hot ring counter with synchronous "
+        f"reset rst (reset value has only bit 0 set) and enable en. On each "
+        f"enabled clock edge the single hot bit rotates one position toward "
+        f"the MSB, wrapping from bit {width-1} back to bit 0. The register "
+        f"drives q."
+    )
+    return GeneratedModule(
+        family="onehot_rotator",
+        source=source,
+        interface=ModuleInterface(
+            module_name=name,
+            clock="clk",
+            reset="rst",
+            inputs=[("en", 1)],
+            outputs=[("q", width)],
+        ),
+        description=description,
+        params={"width": width},
+    )

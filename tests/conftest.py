@@ -1,0 +1,78 @@
+"""Shared fixtures: one small synthetic world and its derived artifacts.
+
+Expensive artifacts (world, scrape, curated dataset, trained models) are
+session-scoped so the suite stays fast while many test modules share
+realistic inputs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.comparison import ModelZoo
+from repro.core.freeset import FreeSetBuilder
+from repro.copyright import collect_copyrighted_corpus
+from repro.github import SimulatedGitHubAPI, WorldConfig, generate_world
+from repro.llm import LanguageModel
+from repro.utils.rng import DeterministicRNG
+from repro.vgen import generate as generate_module
+
+SMALL_WORLD_CONFIG = WorldConfig(
+    n_repos=80,
+    seed=0xA11CE,
+    mega_file_modules=12,
+)
+
+
+@pytest.fixture(scope="session")
+def world():
+    return generate_world(SMALL_WORLD_CONFIG)
+
+
+@pytest.fixture(scope="session")
+def api(world):
+    return SimulatedGitHubAPI(world)
+
+
+@pytest.fixture(scope="session")
+def freeset_result(world):
+    return FreeSetBuilder(world=world).build()
+
+
+@pytest.fixture(scope="session")
+def raw_files(freeset_result):
+    return freeset_result.raw_files
+
+
+@pytest.fixture(scope="session")
+def copyrighted_corpus(raw_files):
+    return collect_copyrighted_corpus(raw_files)
+
+
+@pytest.fixture(scope="session")
+def module_pool():
+    """A pool of generated modules for corpus-level tests."""
+    rng = DeterministicRNG(0x906)
+    return [generate_module(rng.fork(i)) for i in range(120)]
+
+
+@pytest.fixture(scope="session")
+def tiny_verilog_corpus(module_pool):
+    return [m.source for m in module_pool]
+
+
+@pytest.fixture(scope="session")
+def tiny_model(tiny_verilog_corpus):
+    """A small trained LM shared by sampler/benchmark tests."""
+    return LanguageModel.pretrain(
+        "tiny", tiny_verilog_corpus[:60], num_merges=200
+    )
+
+
+@pytest.fixture(scope="session")
+def model_zoo(raw_files, copyrighted_corpus):
+    return ModelZoo(
+        raw_files,
+        list(copyrighted_corpus.entries.values()),
+        max_train_tokens=200_000,
+    )

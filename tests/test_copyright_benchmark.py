@@ -1,0 +1,129 @@
+"""Tests for prompt construction and the violation benchmark."""
+
+import pytest
+
+from repro.copyright import (
+    CopyrightBenchmark,
+    PromptSpec,
+    build_prompt,
+    collect_copyrighted_corpus,
+)
+from repro.copyright.corpus import corpus_from_world
+from repro.llm import LanguageModel
+
+
+class TestPromptConstruction:
+    SOURCE = (
+        "// Copyright Acme. All rights reserved.\n"
+        "module acme_unit(\n"
+        "    input wire [7:0] acme_a,\n"
+        "    input wire [7:0] acme_b,\n"
+        "    output wire [7:0] acme_y\n"
+        ");\n"
+        "    assign acme_y = acme_a ^ acme_b;\n"
+        "endmodule\n"
+    )
+
+    def test_comments_removed(self):
+        prompt = build_prompt(self.SOURCE)
+        assert "Copyright" not in prompt
+        assert prompt.startswith("module acme_unit")
+
+    def test_prefix_fraction(self):
+        short = build_prompt(self.SOURCE, PromptSpec(prefix_fraction=0.1))
+        longer = build_prompt(self.SOURCE, PromptSpec(prefix_fraction=0.5))
+        assert len(short) < len(longer)
+
+    def test_word_cap(self):
+        prompt = build_prompt(self.SOURCE, PromptSpec(prefix_fraction=1.0,
+                                                      max_words=5))
+        assert len(prompt.split()) == 5
+
+    def test_prompt_is_exact_prefix_of_stripped_source(self):
+        from repro.utils.textnorm import strip_comments
+
+        stripped = strip_comments(self.SOURCE).lstrip()
+        prompt = build_prompt(self.SOURCE)
+        assert stripped.startswith(prompt)
+
+    def test_never_ends_mid_word(self, copyrighted_corpus):
+        for key in copyrighted_corpus.keys()[:20]:
+            prompt = build_prompt(copyrighted_corpus.text(key))
+            assert prompt == prompt.rstrip()
+            # the character after the prompt in the stripped source must
+            # be whitespace (we cut at a word boundary)
+            from repro.utils.textnorm import strip_comments
+
+            stripped = strip_comments(copyrighted_corpus.text(key)).lstrip()
+            if len(stripped) > len(prompt):
+                assert stripped[len(prompt)].isspace()
+
+    def test_empty_source(self):
+        assert build_prompt("// only a comment\n") == ""
+
+    def test_invalid_spec(self):
+        with pytest.raises(ValueError):
+            build_prompt("x", PromptSpec(prefix_fraction=0.0))
+        with pytest.raises(ValueError):
+            build_prompt("x", PromptSpec(max_words=0))
+
+
+class TestCorpus:
+    def test_filter_collection_matches_ground_truth(self, raw_files, world):
+        collected = collect_copyrighted_corpus(raw_files)
+        truth = corpus_from_world(world)
+        # the scraper sees every proprietary file (they live in licensed
+        # repos), and the filter has perfect recall on the injected headers
+        assert set(truth.entries).issubset(set(collected.entries))
+
+    def test_nonempty(self, copyrighted_corpus):
+        assert len(copyrighted_corpus) > 0
+
+
+class TestBenchmark:
+    def test_empty_corpus_rejected(self):
+        from repro.copyright.corpus import CopyrightedCorpus
+
+        with pytest.raises(ValueError):
+            CopyrightBenchmark(CopyrightedCorpus())
+
+    def test_prompt_sample_deterministic(self, copyrighted_corpus):
+        a = CopyrightBenchmark(copyrighted_corpus, num_prompts=10, seed=3)
+        b = CopyrightBenchmark(copyrighted_corpus, num_prompts=10, seed=3)
+        assert a.prompt_keys == b.prompt_keys
+
+    def test_contaminated_model_violates_more(self, copyrighted_corpus,
+                                              tiny_verilog_corpus):
+        contaminated_texts = list(copyrighted_corpus.entries.values())
+        base = LanguageModel.pretrain(
+            "bench-base", tiny_verilog_corpus[:50], num_merges=200
+        )
+        dirty = base.continual_pretrain(
+            "bench-dirty", tiny_verilog_corpus + contaminated_texts
+        )
+        clean = base.continual_pretrain("bench-clean", tiny_verilog_corpus)
+        benchmark = CopyrightBenchmark(
+            copyrighted_corpus, num_prompts=25, seed=1
+        )
+        dirty_report = benchmark.evaluate(dirty, temperature=0.2)
+        clean_report = benchmark.evaluate(clean, temperature=0.2)
+        assert dirty_report.violation_rate > clean_report.violation_rate
+        assert dirty_report.violation_rate > 0.3
+
+    def test_report_fields(self, copyrighted_corpus, tiny_model):
+        benchmark = CopyrightBenchmark(copyrighted_corpus, num_prompts=5)
+        report = benchmark.evaluate(tiny_model)
+        assert len(report.results) == 5
+        for result in report.results:
+            assert 0.0 <= result.similarity <= 1.0 + 1e-9
+            assert result.violation == (result.similarity >= 0.8)
+        assert "violations" in report.summary()
+
+    def test_threshold_monotone(self, copyrighted_corpus, tiny_model):
+        lo = CopyrightBenchmark(copyrighted_corpus, num_prompts=10,
+                                threshold=0.3, seed=2)
+        hi = CopyrightBenchmark(copyrighted_corpus, num_prompts=10,
+                                threshold=0.95, seed=2)
+        r_lo = lo.evaluate(tiny_model)
+        r_hi = hi.evaluate(tiny_model)
+        assert r_lo.violations >= r_hi.violations

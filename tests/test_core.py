@@ -1,0 +1,144 @@
+"""Integration tests for the core orchestration (FreeSet, FreeV, zoo)."""
+
+import pytest
+
+from repro.core.basecorpus import BaseCorpusConfig, build_base_corpus
+from repro.core.comparison import (
+    DATASET_POLICIES,
+    MODEL_SPECS,
+    simulate_prior_dataset,
+)
+from repro.core.freev import FreeVTrainer
+from repro.vereval import EvalConfig
+
+
+class TestBaseCorpus:
+    def test_mix_composition(self):
+        corpus = build_base_corpus(
+            BaseCorpusConfig(prose_docs=5, c_docs=5, verilog_files=5),
+            verilog_slice=["module a; endmodule"],
+            contamination_slice=["// secret\nmodule s; endmodule"],
+        )
+        assert len(corpus) == 16
+        assert any("module s; endmodule" in t for t in corpus)
+        modules = sum("endmodule" in t for t in corpus)
+        assert modules >= 6  # 5 verilog + contamination
+
+    def test_fills_missing_verilog(self):
+        corpus = build_base_corpus(
+            BaseCorpusConfig(prose_docs=0, c_docs=0, verilog_files=4),
+            verilog_slice=["module only_one; endmodule"],
+        )
+        assert len(corpus) == 4
+        assert sum("endmodule" in t for t in corpus) == 4
+
+    def test_deterministic(self):
+        config = BaseCorpusConfig(prose_docs=3, c_docs=3, verilog_files=2)
+        assert build_base_corpus(config) == build_base_corpus(config)
+
+
+class TestFreeSet:
+    def test_funnel_matches_paper_shape(self, freeset_result):
+        funnel = freeset_result.dataset.funnel
+        license_stage = funnel.stage("license_filter")
+        dedup_stage = funnel.stage("dedup")
+        # paper: license keeps ~47% of 1.3M; dedup removes ~62.5%; exact
+        # values depend on world scale, so assert generous bands
+        assert 0.2 < 1 - license_stage.removal_fraction < 0.8
+        assert 0.4 < dedup_stage.removal_fraction < 0.85
+        assert funnel.final_count > 0
+
+    def test_copyright_stage_removes_ground_truth(self, freeset_result, world):
+        removed_stage = freeset_result.dataset.funnel.stage("copyright_filter")
+        assert removed_stage.removed > 0
+        final_ids = {f.file_id for f in freeset_result.dataset.files}
+        for repo in world.repos:
+            for record in repo.verilog_files:
+                if record.header_kind == "proprietary":
+                    assert f"{repo.full_name}:{record.path}" not in final_ids
+
+
+class TestPriorDatasets:
+    def test_policies_cover_table1_rows(self):
+        for name in ("VeriGen", "RTLCoder", "CodeV", "BetterV", "CraftRTL",
+                     "OriGen", "FreeSet"):
+            assert name in DATASET_POLICIES
+
+    def test_only_freeset_checks_copyright(self):
+        checkers = [
+            name for name, p in DATASET_POLICIES.items() if p.copyright_check
+        ]
+        assert checkers == ["FreeSet"]
+
+    def test_verigen_dataset_contains_proprietary(self, raw_files):
+        dataset = simulate_prior_dataset(
+            DATASET_POLICIES["VeriGen"], raw_files
+        )
+        from repro.curation import CopyrightFilter
+
+        detector = CopyrightFilter()
+        dirty = sum(
+            1 for f in dataset.files if not detector.is_clean(f.content)
+        )
+        assert dirty > 0  # no copyright check -> proprietary files slip in
+
+    def test_codev_length_cap_applied(self, raw_files):
+        dataset = simulate_prior_dataset(DATASET_POLICIES["CodeV"], raw_files)
+        assert all(len(f.content) <= 2096 for f in dataset.files)
+
+    def test_metadata_propagates(self, raw_files):
+        dataset = simulate_prior_dataset(DATASET_POLICIES["RTLCoder"], raw_files)
+        assert dataset.structure == "Instruction-Tuning"
+        assert dataset.augmented
+
+
+class TestModelZoo:
+    def test_specs_reference_valid_bases_and_policies(self):
+        for spec in MODEL_SPECS.values():
+            if spec.base is not None:
+                assert spec.base in MODEL_SPECS
+                assert MODEL_SPECS[spec.base].base is None
+            if spec.dataset_policy is not None:
+                assert spec.dataset_policy in DATASET_POLICIES
+
+    def test_finetuned_model_builds_on_base(self, model_zoo):
+        base = model_zoo.model("Llama-3.1-8B-Instruct")
+        freev = model_zoo.model("FreeV-Llama3.1")
+        assert freev.tokenizer is base.tokenizer
+        assert freev.counts.pair_count > base.counts.pair_count
+
+    def test_cache_and_evict(self, model_zoo):
+        first = model_zoo.model("Llama-3.1-8B-Instruct")
+        assert model_zoo.model("Llama-3.1-8B-Instruct") is first
+        model_zoo.evict("Llama-3.1-8B-Instruct")
+        assert model_zoo.model("Llama-3.1-8B-Instruct") is not first
+
+
+class TestFreeVHeadline:
+    @pytest.fixture(scope="class")
+    def headline(self, freeset_result):
+        trainer = FreeVTrainer(freeset=freeset_result)
+        return trainer.headline(
+            n_problems=8,
+            eval_config=EvalConfig(
+                n_samples=4, ks=(1, 4), temperatures=(0.2, 0.8),
+                max_new_tokens=300,
+            ),
+            num_prompts=30,
+        )
+
+    def test_freev_improves_passk(self, headline):
+        delta = headline.passk_delta()
+        assert delta[4] > 0  # the paper's headline: pass@k improves
+
+    def test_freev_violations_stay_low(self, headline):
+        # FreeV trains only on filtered data; its violation rate must stay
+        # within a few points of its base (paper: base 2% -> FreeV 3%)
+        assert (
+            headline.freev_violation_rate
+            <= headline.base_violation_rate + 0.10
+        )
+
+    def test_summary_renders(self, headline):
+        text = headline.summary()
+        assert "pass@" in text and "violations" in text

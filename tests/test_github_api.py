@@ -1,0 +1,105 @@
+"""Tests for the simulated GitHub API: search, cap, rate limit, clone."""
+
+import pytest
+
+from repro.errors import GitHubAPIError
+from repro.github import SimulatedGitHubAPI, WorldConfig, generate_world
+from repro.github.api import SEARCH_RESULT_CAP, SearchQuery
+
+
+class TestQueryParsing:
+    def test_full_query(self):
+        q = SearchQuery.parse(
+            "language:verilog license:mit created:2010-01-01..2012-12-31"
+        )
+        assert q.language == "verilog"
+        assert q.license_key == "mit"
+        assert q.created_from.year == 2010
+
+    def test_license_none(self):
+        q = SearchQuery.parse("license:none")
+        assert q.has_license is False
+
+    def test_bad_qualifier(self):
+        with pytest.raises(GitHubAPIError):
+            SearchQuery.parse("stars:>100")
+
+    def test_bare_term_rejected(self):
+        with pytest.raises(GitHubAPIError):
+            SearchQuery.parse("riscv")
+
+    def test_unranged_created_rejected(self):
+        with pytest.raises(GitHubAPIError):
+            SearchQuery.parse("created:2019-01-01")
+
+
+class TestSearch:
+    def test_language_filter_matches_all_repos_with_verilog(self, api, world):
+        result = api.search_repositories("language:verilog", per_page=100)
+        expected = sum(1 for r in world.repos if r.verilog_files)
+        assert result.total_count == expected
+
+    def test_license_facet(self, api, world):
+        result = api.search_repositories("language:verilog license:mit")
+        for name in result.items:
+            assert world.repo(name).license_key == "mit"
+
+    def test_date_range_facet(self, api, world):
+        query = "language:verilog created:2015-01-01..2018-12-31"
+        result = api.search_repositories(query)
+        for name in result.items:
+            created = world.repo(name).created_at
+            assert 2015 <= created.year <= 2018
+
+    def test_pagination_no_overlap(self, api):
+        page1 = api.search_repositories("language:verilog", page=1, per_page=10)
+        page2 = api.search_repositories("language:verilog", page=2, per_page=10)
+        assert not set(page1.items) & set(page2.items)
+
+    def test_result_cap_flagged(self):
+        world = generate_world(
+            WorldConfig(n_repos=30, seed=1, mega_file_modules=0)
+        )
+        api = SimulatedGitHubAPI(world)
+        result = api.search_repositories("language:verilog")
+        # small world: no truncation
+        assert not result.incomplete_results
+        assert result.total_count <= SEARCH_RESULT_CAP
+
+    def test_bad_page(self, api):
+        with pytest.raises(GitHubAPIError):
+            api.search_repositories("language:verilog", page=0)
+
+
+class TestRateLimit:
+    def test_limit_enforced_and_refilled(self):
+        world = generate_world(
+            WorldConfig(n_repos=5, seed=2, mega_file_modules=0)
+        )
+        api = SimulatedGitHubAPI(world, searches_per_minute=3)
+        for _ in range(3):
+            api.search_repositories("language:verilog")
+        with pytest.raises(GitHubAPIError) as excinfo:
+            api.search_repositories("language:verilog")
+        assert excinfo.value.status == 403
+        api.sleep_minute()
+        api.search_repositories("language:verilog")  # works again
+        assert api.stats.rate_limit_hits == 1
+        assert api.stats.minutes_elapsed == 1
+
+    def test_clone_costs_no_search_quota(self, world):
+        api = SimulatedGitHubAPI(world, searches_per_minute=2)
+        api.clone(world.repos[0].full_name)
+        assert api.remaining_quota == 2
+
+
+class TestClone:
+    def test_clone_returns_files(self, api, world):
+        repo = world.repos[0]
+        cloned = api.clone(repo.full_name)
+        assert cloned.files == repo.files
+
+    def test_unknown_repo_404(self, api):
+        with pytest.raises(GitHubAPIError) as excinfo:
+            api.clone("ghost/none")
+        assert excinfo.value.status == 404

@@ -1,0 +1,86 @@
+"""Tests for the granularized scraper."""
+
+import datetime
+
+from repro.github import (
+    GitHubScraper,
+    SimulatedGitHubAPI,
+    WorldConfig,
+    generate_world,
+)
+from repro.github.api import SEARCH_RESULT_CAP
+
+
+class TestScraping:
+    def test_scrape_extracts_only_verilog(self, world):
+        api = SimulatedGitHubAPI(world)
+        files = GitHubScraper(api).scrape()
+        assert files
+        assert all(f.path.endswith((".v", ".vh")) for f in files)
+
+    def test_licensed_facets_only_by_default(self, world):
+        api = SimulatedGitHubAPI(world)
+        files = GitHubScraper(api).scrape()
+        assert all(f.license_key is not None for f in files)
+
+    def test_include_unlicensed_covers_world(self, world):
+        api = SimulatedGitHubAPI(world)
+        files = GitHubScraper(api, include_unlicensed=True).scrape()
+        assert len(files) == world.total_verilog_files
+
+    def test_provenance_recorded(self, world):
+        api = SimulatedGitHubAPI(world)
+        files = GitHubScraper(api).scrape()
+        for record in files[:20]:
+            repo = world.repo(record.repo_full_name)
+            assert repo is not None
+            assert record.author == repo.owner
+            assert record.created_at == repo.created_at
+
+    def test_file_ids_unique(self, world):
+        api = SimulatedGitHubAPI(world)
+        files = GitHubScraper(api, include_unlicensed=True).scrape()
+        ids = [f.file_id for f in files]
+        assert len(ids) == len(set(ids))
+
+    def test_report_accounting(self, world):
+        api = SimulatedGitHubAPI(world)
+        scraper = GitHubScraper(api, include_unlicensed=True)
+        files = scraper.scrape()
+        assert scraper.report.verilog_files_extracted == len(files)
+        assert scraper.report.repos_cloned == scraper.report.repos_found
+        assert scraper.report.files_seen >= len(files)
+
+
+class TestGranularization:
+    def test_date_bisection_triggers_under_cap(self, monkeypatch):
+        """Force a tiny result cap so the scraper must bisect dates."""
+        import repro.github.api as api_mod
+        import repro.github.scraper as scraper_mod
+
+        world = generate_world(
+            WorldConfig(n_repos=60, seed=9, mega_file_modules=0)
+        )
+        monkeypatch.setattr(api_mod, "SEARCH_RESULT_CAP", 5)
+        monkeypatch.setattr(scraper_mod, "SEARCH_RESULT_CAP", 5)
+        api = SimulatedGitHubAPI(world)
+        scraper = GitHubScraper(api, include_unlicensed=True)
+        names = scraper.discover_repositories()
+        # With the cap forced low, discovery must still find everything by
+        # splitting date ranges.
+        expected = {r.full_name for r in world.repos if r.verilog_files}
+        assert set(names) == expected
+        assert scraper.report.date_splits > 0
+
+    def test_rate_limit_survival(self, world):
+        api = SimulatedGitHubAPI(world, searches_per_minute=4)
+        scraper = GitHubScraper(api, include_unlicensed=True)
+        files = scraper.scrape()
+        assert files
+        assert scraper.report.rate_limit_sleeps > 0
+        assert api.stats.minutes_elapsed == scraper.report.rate_limit_sleeps
+
+    def test_no_duplicate_repos_across_facets(self, world):
+        api = SimulatedGitHubAPI(world)
+        names = GitHubScraper(api, include_unlicensed=True).discover_repositories()
+        assert len(names) == len(set(names))

@@ -1,0 +1,135 @@
+"""Tests for the synthetic GitHub world generator."""
+
+import datetime
+
+from repro.github import WorldConfig, generate_world
+from repro.github.world import _brand_identifiers, _corrupt, _perturb_copy
+from repro.utils.rng import DeterministicRNG
+
+
+class TestWorldShape:
+    def test_repo_count(self, world):
+        assert len(world.repos) == 80
+
+    def test_deterministic(self):
+        config = WorldConfig(n_repos=12, seed=5, mega_file_modules=3)
+        a = generate_world(config)
+        b = generate_world(config)
+        assert [r.full_name for r in a.repos] == [r.full_name for r in b.repos]
+        assert a.repos[3].files[0].content == b.repos[3].files[0].content
+
+    def test_dates_within_range(self, world):
+        for repo in world.repos:
+            assert (
+                world.config.date_start
+                <= repo.created_at
+                <= world.config.date_end
+            )
+
+    def test_license_mix(self, world):
+        licensed = sum(1 for r in world.repos if r.license_key is not None)
+        fraction = licensed / len(world.repos)
+        assert 0.25 < fraction < 0.70
+
+    def test_proprietary_only_in_licensed_repos(self, world):
+        for repo in world.repos:
+            for record in repo.verilog_files:
+                if record.header_kind == "proprietary":
+                    assert repo.license_key is not None
+
+    def test_license_headers_present(self, world):
+        for repo in world.repos:
+            if repo.license_key is None:
+                continue
+            for record in repo.verilog_files:
+                if record.header_kind == "license":
+                    assert "SPDX-License-Identifier" in record.content
+
+    def test_duplicates_exist(self, world):
+        copies = sum(
+            1
+            for repo in world.repos
+            for record in repo.verilog_files
+            if record.origin == "copy"
+        )
+        assert copies > world.total_verilog_files * 0.3
+
+    def test_mega_file_present(self, world):
+        sizes = [
+            len(record.content)
+            for repo in world.repos
+            for record in repo.verilog_files
+        ]
+        assert max(sizes) > 8 * sorted(sizes)[len(sizes) // 2]
+
+    def test_noise_files_not_verilog(self, world):
+        for repo in world.repos:
+            for record in repo.files:
+                if record.origin == "noise":
+                    assert not record.is_verilog
+
+
+class TestBranding:
+    def test_keywords_untouched(self):
+        branded = _brand_identifiers(
+            "module foo(input wire clk); endmodule", "qlz_"
+        )
+        assert "module qlz_foo" in branded
+        assert "qlz_module" not in branded
+        assert "qlz_input" not in branded
+        assert "qlz_wire" not in branded
+
+    def test_idempotent(self):
+        once = _brand_identifiers("assign y = a + b;", "vmx_")
+        twice = _brand_identifiers(once, "vmx_")
+        assert once == twice
+
+    def test_consistent_renaming(self):
+        branded = _brand_identifiers(
+            "module m(input a, output y); assign y = a; endmodule", "apx_"
+        )
+        assert branded.count("apx_a") == 2
+        assert branded.count("apx_y") == 2
+
+
+class TestPerturbation:
+    def test_perturbed_copy_stays_similar(self):
+        from repro.dedup.jaccard import text_jaccard
+
+        original = (
+            "module foo(input wire [7:0] a, output wire [7:0] y);\n"
+            "    assign y = a + 8'd1;\n"
+            "endmodule\n" * 3
+        )
+        for seed in range(10):
+            rng = DeterministicRNG(seed)
+            copy = _perturb_copy(original, "owner/repo", rng)
+            assert text_jaccard(original, copy) >= 0.85
+
+    def test_corrupt_changes_text(self):
+        source = "module m(input a, output y); assign y = a; endmodule"
+        for seed in range(8):
+            assert _corrupt(source, DeterministicRNG(seed)) != source
+
+
+class TestGroundTruth:
+    def test_proprietary_listing(self, world):
+        files = world.proprietary_files()
+        assert files
+        for record in files:
+            assert record.header_kind == "proprietary"
+            lowered = record.content.lower()
+            assert (
+                "proprietary" in lowered
+                or "confidential" in lowered
+                or "all rights reserved" in lowered
+            )
+
+    def test_origin_ids_track_duplicates(self, world):
+        by_origin = {}
+        for repo in world.repos:
+            for record in repo.verilog_files:
+                if record.origin_id >= 0:
+                    by_origin.setdefault(record.origin_id, []).append(record)
+        multi = [group for group in by_origin.values() if len(group) > 1]
+        assert multi  # duplicates share origin ids

@@ -1,0 +1,117 @@
+"""Tests for the LanguageModel facade and sampler behaviour."""
+
+import pytest
+
+from repro.errors import TrainingError
+from repro.llm import GenerationConfig, LanguageModel
+
+
+class TestPretrain:
+    def test_report_populated(self, tiny_model):
+        report = tiny_model.report
+        assert report.files == 60
+        assert report.tokens > 0
+        assert report.vocab_size >= 256
+        assert report.ngram_pairs > 0
+
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(TrainingError):
+            LanguageModel.pretrain("x", [])
+
+    def test_max_train_tokens_cap(self, tiny_verilog_corpus):
+        capped = LanguageModel.pretrain(
+            "cap", tiny_verilog_corpus, num_merges=50, max_train_tokens=500
+        )
+        assert capped.report.tokens <= 500
+
+
+class TestContinualPretrain:
+    def test_base_unchanged_and_new_model_knows_more(self, tiny_verilog_corpus):
+        base = LanguageModel.pretrain(
+            "base", tiny_verilog_corpus[:20], num_merges=100
+        )
+        base_pairs = base.counts.pair_count
+        tuned = base.continual_pretrain("tuned", tiny_verilog_corpus[20:60])
+        assert base.counts.pair_count == base_pairs
+        assert tuned.counts.pair_count > base_pairs
+        assert tuned.tokenizer is base.tokenizer
+
+    def test_empty_finetune_corpus_rejected(self, tiny_model):
+        with pytest.raises(TrainingError):
+            tiny_model.continual_pretrain("ft", [])
+
+
+class TestGeneration:
+    def test_stops_at_endmodule(self, tiny_model):
+        out = tiny_model.generate(
+            "module counter(\n", GenerationConfig(max_new_tokens=400), seed=3
+        )
+        assert out.count("endmodule") <= 1
+        if "endmodule" in out:
+            assert out.endswith("endmodule")
+
+    def test_exclude_stop_string(self, tiny_model):
+        config = GenerationConfig(max_new_tokens=400, include_stop=False)
+        out = tiny_model.generate("module counter(\n", config, seed=3)
+        assert "endmodule" not in out
+
+    def test_deterministic_per_seed(self, tiny_model):
+        config = GenerationConfig(temperature=0.8, max_new_tokens=60)
+        a = tiny_model.generate("module m(\n", config, seed=11)
+        b = tiny_model.generate("module m(\n", config, seed=11)
+        c = tiny_model.generate("module m(\n", config, seed=12)
+        assert a == b
+        assert a != c or len(a) < 4  # different seeds should usually differ
+
+    def test_temperature_zero_is_greedy(self, tiny_model):
+        config = GenerationConfig(temperature=0.0, max_new_tokens=40)
+        outs = {tiny_model.generate("module m(\n", config, seed=s) for s in range(4)}
+        assert len(outs) == 1
+
+    def test_high_temperature_diversifies(self, tiny_model):
+        config = GenerationConfig(temperature=1.2, max_new_tokens=60)
+        outs = {
+            tiny_model.generate("module ", config, seed=s) for s in range(8)
+        }
+        assert len(outs) > 1
+
+    def test_batch_matches_singles(self, tiny_model):
+        config = GenerationConfig(temperature=0.8, max_new_tokens=30)
+        batch = tiny_model.generate_batch("module ", 3, config, seed=5)
+        assert len(batch) == 3
+
+    def test_token_budget_respected(self, tiny_model):
+        config = GenerationConfig(
+            max_new_tokens=5, stop_strings=("THISNEVERAPPEARS",)
+        )
+        out = tiny_model.generate("module m(\n", config, seed=0)
+        # 5 BPE tokens decode to a bounded number of characters
+        assert len(tiny_model.tokenizer.encode(out)) <= 8
+
+
+class TestMemorizationBehaviour:
+    def test_regurgitates_distinctive_training_file(self, tiny_verilog_corpus):
+        distinctive = (
+            "module zx_unique_block(input wire [6:0] zx_in,\n"
+            "    output wire [6:0] zx_out);\n"
+            "    assign zx_out = zx_in ^ 7'h55;\n"
+            "endmodule\n"
+        )
+        model = LanguageModel.pretrain(
+            "memo", tiny_verilog_corpus[:40] + [distinctive], num_merges=200
+        )
+        prompt = distinctive[: distinctive.index("output")]
+        out = model.generate(
+            prompt, GenerationConfig(temperature=0.0, max_new_tokens=200), seed=0
+        )
+        assert "zx_out = zx_in ^ 7'h55" in out
+
+    def test_clean_model_does_not_know_the_file(self, tiny_verilog_corpus):
+        model = LanguageModel.pretrain(
+            "clean", tiny_verilog_corpus[:40], num_merges=200
+        )
+        prompt = "module zx_unique_block(input wire [6:0] zx_in,\n    "
+        out = model.generate(
+            prompt, GenerationConfig(temperature=0.0, max_new_tokens=200), seed=0
+        )
+        assert "zx_in ^ 7'h55" not in out

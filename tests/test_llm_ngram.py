@@ -1,0 +1,143 @@
+"""Tests for the n-gram count tables and backoff predictor."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrainingError
+from repro.llm.ngram import (
+    DEFAULT_ORDERS,
+    NGramCounts,
+    NGramLM,
+    hash_context,
+    _hash_contexts,
+)
+
+ORDERS = (4, 2, 1, 0)
+
+
+class TestHashing:
+    def test_vectorized_matches_python(self):
+        tokens = np.arange(50, dtype=np.int64)
+        for order in (1, 3, 7):
+            vec = _hash_contexts(tokens, order)
+            for i in (0, 5, len(vec) - 1):
+                window = list(tokens[i:i + order])
+                assert int(vec[i]) == hash_context(window, order)
+
+    def test_order_zero_constant(self):
+        tokens = np.array([5, 6, 7], dtype=np.int64)
+        hashes = _hash_contexts(tokens, 0)
+        assert len(set(hashes.tolist())) == 1
+
+    def test_short_context_rejected(self):
+        with pytest.raises(ValueError):
+            hash_context([1, 2], 5)
+
+
+class TestTraining:
+    def test_counts_simple_sequence(self):
+        counts = NGramCounts.train([[1, 2, 3, 1, 2, 4]], orders=ORDERS)
+        lm = NGramLM(counts)
+        nexts, weights, order = lm.distribution([9, 9, 9, 1, 2])
+        assert order == 2
+        assert sorted(zip(nexts.tolist(), weights.tolist())) == [
+            (3, 1.0), (4, 1.0)
+        ]
+
+    def test_ngrams_do_not_cross_files(self):
+        counts = NGramCounts.train([[1, 2], [3, 4]], orders=(2, 1, 0))
+        lm = NGramLM(counts)
+        # context [2, 3] spans the file boundary; must not exist at order 2
+        _, _, order = lm.distribution([2, 3])
+        assert order < 2
+
+    def test_unigram_fallback_always_available(self):
+        counts = NGramCounts.train([[7, 8, 9]], orders=ORDERS)
+        lm = NGramLM(counts)
+        nexts, _, order = lm.distribution([12345])
+        assert order == 0
+        assert set(nexts.tolist()) <= {7, 8, 9}
+
+    def test_empty_model_raises(self):
+        counts = NGramCounts(orders=ORDERS)
+        with pytest.raises(TrainingError):
+            NGramLM(counts).distribution([1])
+
+    def test_order_zero_required(self):
+        with pytest.raises(TrainingError):
+            NGramCounts(orders=(3, 2))
+
+    def test_orders_must_decrease(self):
+        with pytest.raises(TrainingError):
+            NGramCounts(orders=(2, 3, 0))
+
+    def test_default_orders_shape(self):
+        assert DEFAULT_ORDERS[0] >= 12
+        assert DEFAULT_ORDERS[-1] == 0
+
+
+class TestMerging:
+    def test_merge_adds_weighted_counts(self):
+        a = NGramCounts.train([[1, 2, 3]], orders=(1, 0))
+        b = NGramCounts.train([[1, 2, 3]], orders=(1, 0))
+        merged = a.merged_with(b, weight=2.0)
+        lm = NGramLM(merged)
+        nexts, weights, order = lm.distribution([2])
+        assert order == 1
+        assert weights.tolist() == [3.0]  # 1 + 2*1
+
+    def test_merge_disjoint_contexts(self):
+        a = NGramCounts.train([[1, 2]], orders=(1, 0))
+        b = NGramCounts.train([[3, 4]], orders=(1, 0))
+        merged = a.merged_with(b)
+        lm = NGramLM(merged)
+        assert lm.greedy_next([1]) == 2
+        assert lm.greedy_next([3]) == 4
+
+    def test_merge_mismatched_orders_rejected(self):
+        a = NGramCounts.train([[1, 2]], orders=(1, 0))
+        b = NGramCounts.train([[1, 2]], orders=(2, 1, 0))
+        with pytest.raises(TrainingError):
+            a.merged_with(b)
+
+    def test_merge_preserves_originals(self):
+        a = NGramCounts.train([[1, 2, 3]], orders=(1, 0))
+        b = NGramCounts.train([[2, 9]], orders=(1, 0))
+        a.merged_with(b)
+        # a unchanged: context [2] still only continues to 3
+        assert NGramLM(a).greedy_next([2]) == 3
+
+    def test_tokens_trained_accumulates(self):
+        a = NGramCounts.train([[1] * 10], orders=(1, 0))
+        b = NGramCounts.train([[2] * 6], orders=(1, 0))
+        merged = a.merged_with(b, weight=0.5)
+        assert merged.tokens_trained == pytest.approx(13.0)
+
+
+class TestBackoff:
+    def test_longest_match_wins(self):
+        # train: "1 2 3" twice and "9 2 4" once; context [1, 2] should use
+        # order 2 (only continuation 3), not the order-1 mix.
+        counts = NGramCounts.train(
+            [[1, 2, 3], [1, 2, 3], [9, 2, 4]], orders=(2, 1, 0)
+        )
+        lm = NGramLM(counts)
+        _, _, order = lm.distribution([1, 2])
+        assert order == 2
+        assert lm.greedy_next([1, 2]) == 3
+
+    def test_memorization_of_training_sequence(self):
+        sequence = list(range(100, 160))
+        counts = NGramCounts.train([sequence], orders=DEFAULT_ORDERS)
+        lm = NGramLM(counts)
+        context = sequence[:20]
+        for expected in sequence[20:40]:
+            token = lm.greedy_next(context)
+            assert token == expected
+            context.append(token)
+
+    def test_greedy_picks_max_count(self):
+        counts = NGramCounts.train(
+            [[1, 2], [1, 2], [1, 3]], orders=(1, 0)
+        )
+        assert NGramLM(counts).greedy_next([1]) == 2

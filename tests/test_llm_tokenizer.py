@@ -1,0 +1,95 @@
+"""Tests and properties for the BPE tokenizer."""
+
+import pytest
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.llm.tokenizer import BPETokenizer, pretokenize, train_tokenizer
+
+
+class TestPretokenize:
+    def test_identifiers_and_punct(self):
+        assert pretokenize("assign y = a+b;") == [
+            "assign", " ", "y", " ", "=", " ", "a", "+", "b", ";"
+        ]
+
+    def test_whitespace_runs_kept_whole(self):
+        assert pretokenize("a\n    b") == ["a", "\n", "    ", "b"]
+
+    def test_numbers(self):
+        assert pretokenize("8'hFF") == ["8", "'", "hFF"]
+
+    def test_roundtrip_concat(self):
+        text = "module m(input [7:0] a);\n  assign y = a + 8'd1;\nendmodule\n"
+        assert "".join(pretokenize(text)) == text
+
+
+class TestByteFallback:
+    def test_zero_merge_tokenizer_roundtrips(self):
+        tok = BPETokenizer(merges=[])
+        text = "module weird_name_никогда(input a);"
+        assert tok.decode(tok.encode(text)) == text
+
+    def test_vocab_size(self):
+        tok = train_tokenizer(["module m; endmodule"] * 4, num_merges=10)
+        assert 256 <= tok.vocab_size <= 266
+
+
+class TestTraining:
+    def test_merges_learned_on_repetitive_text(self):
+        corpus = ["module counter(input wire clk);" * 5] * 10
+        tok = train_tokenizer(corpus, num_merges=50)
+        assert len(tok.merges) > 5
+        # frequent words should compress well below byte length
+        ids = tok.encode("counter")
+        assert len(ids) < len("counter")
+
+    def test_deterministic(self):
+        corpus = ["assign y = a + b;"] * 8
+        a = train_tokenizer(corpus, num_merges=30)
+        b = train_tokenizer(corpus, num_merges=30)
+        assert a.merges == b.merges
+
+    def test_negative_merges_rejected(self):
+        from repro.errors import TrainingError
+
+        with pytest.raises(TrainingError):
+            train_tokenizer(["x"], num_merges=-1)
+
+    def test_unseen_words_still_encode(self, tiny_verilog_corpus):
+        tok = train_tokenizer(tiny_verilog_corpus[:10], num_merges=100)
+        text = "module zebra_quokka_xyz(input qq);"
+        assert tok.decode(tok.encode(text)) == text
+
+
+verilogish = st.text(
+    alphabet=st.sampled_from(
+        list("abcdefghijklmnopqrstuvwxyz_0123456789 \n\t[](){};:=+-&|^~'")
+    ),
+    min_size=0,
+    max_size=200,
+)
+
+
+class TestRoundtripProperty:
+    @settings(max_examples=60, deadline=None)
+    @given(verilogish)
+    def test_encode_decode_identity(self, text):
+        tok = train_tokenizer(
+            ["module m(input a, output y); assign y = ~a; endmodule"] * 3,
+            num_merges=40,
+        )
+        assert tok.decode(tok.encode(text)) == text
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.text(min_size=0, max_size=80))
+    def test_arbitrary_unicode_roundtrips(self, text):
+        tok = BPETokenizer(merges=[])
+        assert tok.decode(tok.encode(text)) == text
+
+    @settings(max_examples=30, deadline=None)
+    @given(verilogish)
+    def test_encoding_is_deterministic(self, text):
+        tok = train_tokenizer(["assign y = a;"] * 5, num_merges=20)
+        assert tok.encode(text) == tok.encode(text)

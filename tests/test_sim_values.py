@@ -1,0 +1,95 @@
+"""Tests and properties for bit-vector helpers."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.values import (
+    bit_length_for,
+    concat,
+    from_signed,
+    mask,
+    reduce_and,
+    reduce_or,
+    reduce_xor,
+    replicate,
+    to_signed,
+)
+
+
+class TestMask:
+    def test_basic(self):
+        assert mask(0x1FF, 8) == 0xFF
+
+    def test_zero_width(self):
+        assert mask(123, 0) == 0
+
+    def test_negative_wraps(self):
+        assert mask(-1, 4) == 0xF
+        assert mask(-2, 8) == 0xFE
+
+
+class TestSigned:
+    def test_positive(self):
+        assert to_signed(5, 8) == 5
+
+    def test_negative(self):
+        assert to_signed(0xFF, 8) == -1
+        assert to_signed(0x80, 8) == -128
+
+    @given(st.integers(-128, 127))
+    def test_roundtrip_8bit(self, value):
+        assert to_signed(from_signed(value, 8), 8) == value
+
+    @given(st.integers(min_value=1, max_value=64), st.integers(0, 2**64))
+    def test_to_signed_in_range(self, width, value):
+        signed = to_signed(value, width)
+        assert -(1 << (width - 1)) <= signed < (1 << (width - 1))
+
+
+class TestClog2:
+    def test_values(self):
+        assert bit_length_for(0) == 0
+        assert bit_length_for(1) == 0
+        assert bit_length_for(2) == 1
+        assert bit_length_for(8) == 3
+        assert bit_length_for(9) == 4
+
+    @given(st.integers(2, 1 << 20))
+    def test_covers_count(self, count):
+        width = bit_length_for(count)
+        assert (1 << width) >= count
+        assert (1 << (width - 1)) < count
+
+
+class TestReplicateConcat:
+    def test_replicate(self):
+        assert replicate(0b10, 2, 3) == 0b101010
+
+    def test_replicate_zero_times(self):
+        assert replicate(3, 2, 0) == 0
+
+    def test_concat_msb_first(self):
+        assert concat([(0b1, 1), (0b00, 2), (0b11, 2)]) == 0b10011
+
+    @given(st.integers(0, 255), st.integers(1, 6))
+    def test_replicate_equals_concat(self, value, times):
+        parts = [(value, 8)] * times
+        assert replicate(value, 8, times) == concat(parts)
+
+
+class TestReductions:
+    def test_reduce_and(self):
+        assert reduce_and(0xFF, 8) == 1
+        assert reduce_and(0xFE, 8) == 0
+
+    def test_reduce_or(self):
+        assert reduce_or(0, 8) == 0
+        assert reduce_or(1, 8) == 1
+
+    def test_reduce_xor(self):
+        assert reduce_xor(0b1011, 4) == 1
+        assert reduce_xor(0b1010, 4) == 0
+
+    @given(st.integers(0, 2**16 - 1))
+    def test_xor_is_parity(self, value):
+        assert reduce_xor(value, 16) == bin(value).count("1") % 2

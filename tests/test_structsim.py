@@ -1,0 +1,132 @@
+"""Tests for the structural (GNN4IP-style) similarity extension."""
+
+import pytest
+
+from repro.github.world import _brand_identifiers
+from repro.structsim import (
+    StructuralIndex,
+    build_dataflow_graph,
+    wl_histogram,
+    wl_similarity,
+)
+from repro.utils.rng import DeterministicRNG
+from repro.vgen import generate_family
+
+COUNTER = """
+module counter(input clk, input rst, input en, output reg [7:0] q);
+    always @(posedge clk) begin
+        if (rst) q <= 8'd0;
+        else if (en) q <= q + 1'b1;
+    end
+endmodule
+"""
+
+
+class TestGraphConstruction:
+    def test_nodes_have_labels(self):
+        graph = build_dataflow_graph(COUNTER)
+        assert graph.number_of_nodes() > 5
+        assert all("label" in data for _, data in graph.nodes(data=True))
+
+    def test_identifier_names_not_in_labels(self):
+        graph = build_dataflow_graph(COUNTER)
+        labels = " ".join(d["label"] for _, d in graph.nodes(data=True))
+        for name in ("clk", "rst", "en", "counter"):
+            assert name not in labels
+
+    def test_rename_invariance(self):
+        renamed = _brand_identifiers(COUNTER, "qlz_")
+        a = build_dataflow_graph(COUNTER)
+        b = build_dataflow_graph(renamed)
+        assert wl_similarity(a, b) == pytest.approx(1.0)
+
+    def test_distinct_designs_differ(self):
+        alu = generate_family("alu", DeterministicRNG(1)).source
+        fifo = generate_family("fifo", DeterministicRNG(2)).source
+        sim = wl_similarity(
+            build_dataflow_graph(alu), build_dataflow_graph(fifo)
+        )
+        assert sim < 0.8
+
+    def test_width_changes_labels(self):
+        wide = COUNTER.replace("[7:0]", "[31:0]").replace("8'd0", "32'd0")
+        sim = wl_similarity(
+            build_dataflow_graph(COUNTER), build_dataflow_graph(wide)
+        )
+        assert sim < 1.0
+
+
+class TestWLKernel:
+    def test_self_similarity_is_one(self):
+        graph = build_dataflow_graph(COUNTER)
+        assert wl_similarity(graph, graph) == pytest.approx(1.0)
+
+    def test_symmetry(self):
+        a = build_dataflow_graph(COUNTER)
+        b = build_dataflow_graph(
+            generate_family("fifo", DeterministicRNG(3)).source
+        )
+        assert wl_similarity(a, b) == pytest.approx(wl_similarity(b, a))
+
+    def test_histogram_grows_with_iterations(self):
+        graph = build_dataflow_graph(COUNTER)
+        h0 = wl_histogram(graph, iterations=0)
+        h3 = wl_histogram(graph, iterations=3)
+        assert sum(h3.values()) == 4 * sum(h0.values())
+
+    def test_invalid_iterations(self):
+        with pytest.raises(ValueError):
+            wl_histogram(build_dataflow_graph(COUNTER), iterations=-1)
+
+
+class TestStructuralIndex:
+    def test_finds_renamed_copy(self):
+        index = StructuralIndex()
+        index.add("orig", COUNTER)
+        index.add(
+            "other", generate_family("fifo", DeterministicRNG(4)).source
+        )
+        match = index.best_match(_brand_identifiers(COUNTER, "vmx_"))
+        assert match.key == "orig"
+        assert match.score == pytest.approx(1.0)
+
+    def test_unparseable_query_matches_nothing(self):
+        index = StructuralIndex()
+        index.add("orig", COUNTER)
+        assert index.best_match("not verilog at all (((") is None
+
+    def test_unparseable_corpus_entry_tolerated(self):
+        index = StructuralIndex()
+        index.add("broken", "module broken(")
+        index.add("ok", COUNTER)
+        match = index.best_match(COUNTER)
+        assert match.key == "ok"
+
+    def test_duplicate_key_rejected(self):
+        index = StructuralIndex()
+        index.add("k", COUNTER)
+        with pytest.raises(KeyError):
+            index.add("k", COUNTER)
+
+
+class TestRenameAttack:
+    """The motivating scenario: identifier renaming launders a copied
+    design past the textual detector but not the structural one."""
+
+    def test_textual_detector_evaded_structural_not(self):
+        from repro.textsim import SimilarityIndex
+
+        original = generate_family(
+            "traffic_fsm", DeterministicRNG(7)
+        ).source
+        laundered = _brand_identifiers(original, "stolen_")
+
+        textual = SimilarityIndex()
+        textual.add("ip", original)
+        structural = StructuralIndex()
+        structural.add("ip", original)
+
+        text_score = textual.best_match(laundered).score
+        struct_score = structural.best_match(laundered).score
+        assert struct_score == pytest.approx(1.0)
+        assert struct_score > text_score

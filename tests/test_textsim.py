@@ -1,0 +1,106 @@
+"""Tests for the cosine-similarity subsystem."""
+
+import pytest
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.textsim import (
+    NgramVectorizer,
+    SimilarityIndex,
+    cosine_similarity,
+)
+
+
+class TestVectorizer:
+    def test_normalization_strips_comments_and_case(self):
+        v = NgramVectorizer()
+        a = v.vectorize("// header\nASSIGN Y = A;")
+        b = v.vectorize("assign y = a;")
+        assert cosine_similarity(a, b) == pytest.approx(1.0)
+
+    def test_short_text(self):
+        v = NgramVectorizer(n=4)
+        vec = v.vectorize("ab")
+        assert len(vec) == 1
+
+    def test_empty_text(self):
+        v = NgramVectorizer()
+        assert v.vectorize("").norm == 0.0
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            NgramVectorizer(n=0)
+
+
+class TestCosine:
+    def test_identical(self):
+        v = NgramVectorizer()
+        vec = v.vectorize("module m; endmodule")
+        assert cosine_similarity(vec, vec) == pytest.approx(1.0)
+
+    def test_disjoint(self):
+        v = NgramVectorizer()
+        assert cosine_similarity(
+            v.vectorize("aaaaaaaa"), v.vectorize("bbbbbbbb")
+        ) == 0.0
+
+    def test_empty_vs_anything_is_zero(self):
+        v = NgramVectorizer()
+        assert cosine_similarity(v.vectorize(""), v.vectorize("abcd")) == 0.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.text(alphabet="abcmodule ;=", min_size=8, max_size=60),
+           st.text(alphabet="abcmodule ;=", min_size=8, max_size=60))
+    def test_symmetry_and_range(self, t1, t2):
+        v = NgramVectorizer()
+        a, b = v.vectorize(t1), v.vectorize(t2)
+        s1, s2 = cosine_similarity(a, b), cosine_similarity(b, a)
+        assert s1 == pytest.approx(s2)
+        assert -1e-9 <= s1 <= 1.0 + 1e-9
+
+
+class TestSimilarityIndex:
+    def _corpus_index(self, texts):
+        index = SimilarityIndex()
+        for i, text in enumerate(texts):
+            index.add(f"doc{i}", text)
+        return index
+
+    def test_exact_match_found(self, tiny_verilog_corpus):
+        texts = tiny_verilog_corpus[:20]
+        index = self._corpus_index(texts)
+        match = index.best_match(texts[7])
+        assert match.key == "doc7"
+        assert match.score == pytest.approx(1.0)
+
+    def test_best_match_is_true_maximum(self, tiny_verilog_corpus):
+        texts = tiny_verilog_corpus[:15]
+        index = self._corpus_index(texts)
+        v = index.vectorizer
+        query = texts[3][: len(texts[3]) // 2]
+        best = index.best_match(query)
+        brute = max(
+            (cosine_similarity(v.vectorize(query), v.vectorize(t)), f"doc{i}")
+            for i, t in enumerate(texts)
+        )
+        assert best.score == pytest.approx(brute[0])
+
+    def test_no_shared_ngrams_returns_none_or_zero(self):
+        index = self._corpus_index(["module m; endmodule"])
+        match = index.best_match("@@@@ %%%% ^^^^")
+        assert match is None or match.score == 0.0
+
+    def test_empty_index(self):
+        index = SimilarityIndex()
+        assert index.best_match("anything") is None
+
+    def test_duplicate_key_rejected(self):
+        index = SimilarityIndex()
+        index.add("k", "text one")
+        with pytest.raises(KeyError):
+            index.add("k", "text two")
+
+    def test_score_against_specific_doc(self):
+        index = self._corpus_index(["assign y = a & b;"])
+        assert index.score_against("doc0", "assign y = a & b;") == pytest.approx(1.0)

@@ -1,0 +1,170 @@
+"""Tests for shared utilities: RNG, text normalization, statistics."""
+
+import pytest
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils import (
+    DeterministicRNG,
+    Histogram,
+    derive_seed,
+    log_bins,
+    normalize_whitespace,
+    strip_comments,
+    summarize,
+    truncate_words,
+    word_count,
+)
+
+
+class TestDeriveSeed:
+    def test_stable(self):
+        assert derive_seed(1, "a") == derive_seed(1, "a")
+
+    def test_label_sensitivity(self):
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_multi_label_not_concatenation_ambiguous(self):
+        assert derive_seed(1, "ab", "c") != derive_seed(1, "a", "bc")
+
+
+class TestRNG:
+    def test_fork_independence(self):
+        rng = DeterministicRNG(7)
+        a = rng.fork("x")
+        b = rng.fork("x")
+        assert [a.randint(0, 100) for _ in range(5)] == [
+            b.randint(0, 100) for _ in range(5)
+        ]
+        assert rng.fork("x").randint(0, 10**9) != rng.fork("y").randint(0, 10**9)
+
+    def test_weighted_choice_distribution(self):
+        rng = DeterministicRNG(3)
+        picks = [rng.weighted_choice({"a": 9, "b": 1}) for _ in range(500)]
+        assert picks.count("a") > 350
+
+    def test_weighted_choice_validation(self):
+        rng = DeterministicRNG(0)
+        with pytest.raises(ValueError):
+            rng.weighted_choice({})
+        with pytest.raises(ValueError):
+            rng.weighted_choice({"a": 0})
+
+    def test_choice_empty(self):
+        with pytest.raises(ValueError):
+            DeterministicRNG(0).choice([])
+
+    def test_lognormal_bounds(self):
+        rng = DeterministicRNG(5)
+        for _ in range(100):
+            value = rng.lognormal_int(100, 1.0, lo=10, hi=5000)
+            assert 10 <= value <= 5000
+
+    def test_shuffled_preserves_elements(self):
+        rng = DeterministicRNG(9)
+        items = list(range(30))
+        assert sorted(rng.shuffled(items)) == items
+
+
+class TestStripComments:
+    def test_line_comment(self):
+        assert strip_comments("a; // note\nb;") == "a; \nb;"
+
+    def test_block_comment_replaced_with_space(self):
+        assert strip_comments("a/*x*/b") == "a b"
+
+    def test_string_literals_preserved(self):
+        text = 'x = "// not a comment";'
+        assert strip_comments(text) == text
+
+    def test_block_in_string_preserved(self):
+        text = 'x = "/* keep */";'
+        assert strip_comments(text) == text
+
+    def test_unterminated_block_runs_to_end(self):
+        assert strip_comments("a /* open").strip() == "a"
+
+    def test_escaped_quote_in_string(self):
+        text = 'x = "a\\"b // keep";'
+        assert strip_comments(text) == text
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.text(alphabet="ab /*\n\"\\", max_size=60))
+    def test_never_longer_and_idempotent(self, text):
+        stripped = strip_comments(text)
+        assert len(stripped) <= len(text) + 1  # block -> " " can pad by one
+        assert strip_comments(stripped) == stripped or '"' in text
+
+
+class TestWordHelpers:
+    def test_normalize(self):
+        assert normalize_whitespace("  a\t b\nc ") == "a b c"
+
+    def test_word_count(self):
+        assert word_count("a b  c\nd") == 4
+
+    def test_truncate(self):
+        assert truncate_words("a b c d", 2) == "a b"
+        assert truncate_words("a b", 5) == "a b"
+        assert truncate_words("a b", 0) == ""
+
+
+class TestHistogram:
+    def test_log_bins(self):
+        edges = log_bins(1, 3)
+        assert edges == pytest.approx([10.0, 100.0, 1000.0])
+        with pytest.raises(ValueError):
+            log_bins(3, 1)
+
+    def test_binning(self):
+        hist = Histogram(edges=[0, 10, 100])
+        hist.add_all([5, 50, 500, -1])
+        assert hist.counts == [1, 1]
+        assert hist.overflow == 1
+        assert hist.underflow == 1
+        assert hist.total == 4
+
+    def test_boundary_goes_to_upper_bin(self):
+        hist = Histogram(edges=[0, 10, 100])
+        hist.add(10)
+        assert hist.counts == [0, 1]
+
+    def test_series_shape(self):
+        hist = Histogram(edges=log_bins(1, 4))
+        hist.add_all([20, 200, 2000, 30])
+        series = hist.series()
+        assert len(series) == 3
+        assert sum(count for _, count in series) == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Histogram(edges=[1])
+        with pytest.raises(ValueError):
+            Histogram(edges=[2, 1])
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.floats(min_value=0.5, max_value=1e6), max_size=50))
+    def test_total_conserved(self, values):
+        hist = Histogram(edges=log_bins(1, 5))
+        hist.add_all(values)
+        assert hist.total == len(values)
+
+
+class TestSummarize:
+    def test_values(self):
+        stats = summarize([1, 2, 3, 4, 5])
+        assert stats["min"] == 1
+        assert stats["max"] == 5
+        assert stats["mean"] == 3
+        assert stats["median"] == 3
+
+    def test_single_value(self):
+        stats = summarize([7])
+        assert stats["median"] == 7
+        assert stats["p90"] == 7
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])

@@ -1,0 +1,138 @@
+"""Unit tests for the Verilog lexer."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.verilog import lex
+from repro.verilog.tokens import TokenKind
+
+
+def kinds(source):
+    return [t.kind for t in lex(source)[:-1]]
+
+
+def texts(source):
+    return [t.text for t in lex(source)[:-1]]
+
+
+class TestBasics:
+    def test_empty_input_yields_only_eof(self):
+        tokens = lex("")
+        assert len(tokens) == 1
+        assert tokens[0].kind is TokenKind.EOF
+
+    def test_identifier(self):
+        (tok,) = lex("counter_reg")[:-1]
+        assert tok.kind is TokenKind.IDENT
+        assert tok.text == "counter_reg"
+
+    def test_keyword_recognized(self):
+        (tok,) = lex("module")[:-1]
+        assert tok.kind is TokenKind.KEYWORD
+
+    def test_identifier_with_dollar_suffix(self):
+        (tok,) = lex("data$x")[:-1]
+        assert tok.kind is TokenKind.IDENT
+        assert tok.text == "data$x"
+
+    def test_system_identifier(self):
+        (tok,) = lex("$display")[:-1]
+        assert tok.kind is TokenKind.SYSTEM_IDENT
+        assert tok.text == "$display"
+
+    def test_lone_dollar_is_error(self):
+        with pytest.raises(LexError):
+            lex("$ 1")
+
+    def test_illegal_character(self):
+        with pytest.raises(LexError):
+            lex("module \x01")
+
+
+class TestNumbers:
+    def test_plain_decimal(self):
+        (tok,) = lex("42")[:-1]
+        assert tok.kind is TokenKind.NUMBER
+        assert tok.text == "42"
+
+    def test_underscored_decimal(self):
+        (tok,) = lex("1_000")[:-1]
+        assert tok.text == "1_000"
+
+    @pytest.mark.parametrize(
+        "literal",
+        ["8'hFF", "4'b1010", "'b1", "16'd65535", "8'o377", "4'sb1010", "8'hx"],
+    )
+    def test_based_literals(self, literal):
+        (tok,) = lex(literal)[:-1]
+        assert tok.kind is TokenKind.BASED_NUMBER
+        assert tok.text == literal
+
+    def test_missing_base_digits_is_error(self):
+        with pytest.raises(LexError):
+            lex("8'h")
+
+    def test_bad_base_char_is_error(self):
+        with pytest.raises(LexError):
+            lex("8'q1")
+
+
+class TestComments:
+    def test_line_comment_skipped(self):
+        assert texts("a // comment here\nb") == ["a", "b"]
+
+    def test_block_comment_skipped(self):
+        assert texts("a /* hi\nthere */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment_is_error(self):
+        with pytest.raises(LexError):
+            lex("a /* never closed")
+
+    def test_comment_marker_inside_string_kept(self):
+        toks = lex('"no // comment"')[:-1]
+        assert toks[0].kind is TokenKind.STRING
+        assert toks[0].text == "no // comment"
+
+
+class TestOperators:
+    @pytest.mark.parametrize(
+        "op",
+        ["<<<", ">>>", "===", "!==", "<<", ">>", "<=", ">=", "==", "!=",
+         "&&", "||", "**", "+:", "-:", "~&", "~|", "~^"],
+    )
+    def test_multichar_operator_lexes_whole(self, op):
+        (tok,) = lex(op)[:-1]
+        assert tok.kind is TokenKind.OP
+        assert tok.text == op
+
+    def test_greedy_matching_of_shift_vs_lt(self):
+        assert texts("a<<b") == ["a", "<<", "b"]
+
+    def test_adjacent_ops_split_correctly(self):
+        assert texts("a<= =b") == ["a", "<=", "=", "b"]
+
+
+class TestPositions:
+    def test_line_and_column_tracking(self):
+        tokens = lex("a\n  b")[:-1]
+        assert (tokens[0].line, tokens[0].col) == (1, 1)
+        assert (tokens[1].line, tokens[1].col) == (2, 3)
+
+    def test_directive_consumed_to_eol(self):
+        toks = lex("`timescale 1ns/1ps\nmodule")[:-1]
+        assert toks[0].kind is TokenKind.DIRECTIVE
+        assert toks[1].text == "module"
+
+
+class TestStrings:
+    def test_escapes_decoded(self):
+        (tok,) = lex(r'"a\nb\"c"')[:-1]
+        assert tok.text == 'a\nb"c'
+
+    def test_unterminated_string_is_error(self):
+        with pytest.raises(LexError):
+            lex('"open')
+
+    def test_newline_in_string_is_error(self):
+        with pytest.raises(LexError):
+            lex('"bad\nstring"')

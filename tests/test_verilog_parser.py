@@ -1,0 +1,315 @@
+"""Unit tests for the Verilog parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.verilog import ast, parse_source
+from repro.verilog.parser import parse_based_literal
+
+
+def only_module(source):
+    parsed = parse_source(source)
+    assert len(parsed.modules) == 1
+    return parsed.modules[0]
+
+
+class TestModuleHeaders:
+    def test_ansi_ports(self):
+        m = only_module(
+            "module m(input wire a, output reg [3:0] b); endmodule"
+        )
+        assert m.port_order == ["a", "b"]
+        assert m.port("a").direction == "input"
+        assert m.port("b").is_reg
+        assert m.port("b").range is not None
+
+    def test_port_direction_carries_to_following_names(self):
+        m = only_module("module m(input [3:0] a, b, output y); endmodule")
+        assert m.port("b").direction == "input"
+        assert m.port("b").range is not None
+        assert m.port("y").direction == "output"
+
+    def test_non_ansi_ports(self):
+        m = only_module(
+            "module m(a, b); input a; output [7:0] b; endmodule"
+        )
+        assert m.port_order == ["a", "b"]
+        assert m.port("b").range is not None
+
+    def test_parameter_header(self):
+        m = only_module(
+            "module m #(parameter W = 4, parameter D = W*2)(input [W-1:0] a);"
+            " endmodule"
+        )
+        assert [p.name for p in m.params] == ["W", "D"]
+
+    def test_empty_port_list(self):
+        m = only_module("module m(); endmodule")
+        assert m.port_order == []
+
+    def test_no_port_list(self):
+        m = only_module("module m; wire x; endmodule")
+        assert m.port_order == []
+
+    def test_two_modules(self):
+        parsed = parse_source("module a; endmodule module b; endmodule")
+        assert [m.name for m in parsed.modules] == ["a", "b"]
+
+    def test_empty_source_is_error(self):
+        with pytest.raises(ParseError):
+            parse_source("// only a comment\n")
+
+    def test_garbage_at_top_level_is_error(self):
+        with pytest.raises(ParseError):
+            parse_source("wire x;")
+
+
+class TestDeclarations:
+    def test_wire_with_init(self):
+        m = only_module("module m; wire [3:0] x = 4'd3; endmodule")
+        assert m.nets[0].init is not None
+
+    def test_multiple_names_share_range(self):
+        m = only_module("module m; reg [7:0] a, b, c; endmodule")
+        assert len(m.nets) == 3
+        assert all(n.range is not None for n in m.nets)
+
+    def test_memory_declaration(self):
+        m = only_module("module m; reg [7:0] mem [0:15]; endmodule")
+        assert len(m.nets[0].array_dims) == 1
+
+    def test_integer_declaration(self):
+        m = only_module("module m; integer i; endmodule")
+        assert m.nets[0].kind == "integer"
+
+    def test_localparam(self):
+        m = only_module("module m; localparam N = 5; endmodule")
+        assert m.params[0].local
+
+    def test_signed_reg(self):
+        m = only_module("module m; reg signed [7:0] s; endmodule")
+        assert m.nets[0].signed
+
+
+class TestStatements:
+    def test_always_posedge(self):
+        m = only_module(
+            "module m(input clk); reg q;"
+            " always @(posedge clk) q <= ~q; endmodule"
+        )
+        block = m.always_blocks[0]
+        assert not block.is_combinational
+        assert block.edge_items[0].edge == "posedge"
+
+    def test_always_star_both_syntaxes(self):
+        for sens in ["@(*)", "@*"]:
+            m = only_module(
+                f"module m(input a, output reg y);"
+                f" always {sens} y = a; endmodule"
+            )
+            assert m.always_blocks[0].is_combinational
+
+    def test_sensitivity_list_or_and_comma(self):
+        for sep in [" or ", ", "]:
+            m = only_module(
+                f"module m(input a, input b, output reg y);"
+                f" always @(a{sep}b) y = a & b; endmodule"
+            )
+            assert len(m.always_blocks[0].sensitivity) == 2
+
+    def test_always_without_at_is_error(self):
+        with pytest.raises(ParseError):
+            parse_source("module m; always begin end endmodule")
+
+    def test_if_else_chain(self):
+        m = only_module(
+            "module m(input a, input b, output reg y); always @(*)"
+            " if (a) y = 1'b1; else if (b) y = 1'b0; else y = a; endmodule"
+        )
+        stmt = m.always_blocks[0].body
+        assert isinstance(stmt, ast.If)
+        assert isinstance(stmt.other, ast.If)
+
+    def test_case_with_default(self):
+        m = only_module(
+            "module m(input [1:0] s, output reg y); always @(*)"
+            " case (s) 2'd0: y = 1'b0; 2'd1, 2'd2: y = 1'b1;"
+            " default: y = 1'bx; endcase endmodule"
+        )
+        case = m.always_blocks[0].body
+        assert isinstance(case, ast.Case)
+        assert len(case.items) == 3
+        assert len(case.items[1].labels) == 2
+        assert case.items[2].is_default
+
+    def test_casez(self):
+        m = only_module(
+            "module m(input [3:0] s, output reg y); always @(*)"
+            " casez (s) 4'b1???: y = 1'b1; default: y = 1'b0;"
+            " endcase endmodule"
+        )
+        assert m.always_blocks[0].body.kind == "casez"
+
+    def test_for_loop(self):
+        m = only_module(
+            "module m(input [3:0] d, output reg [3:0] y); integer i;"
+            " always @(*) begin y = 4'd0;"
+            " for (i = 0; i < 4; i = i + 1) y[i] = d[3-i]; end endmodule"
+        )
+        block = m.always_blocks[0].body
+        assert isinstance(block.stmts[1], ast.For)
+
+    def test_named_block(self):
+        m = only_module(
+            "module m(input a, output reg y); always @(*)"
+            " begin : blk y = a; end endmodule"
+        )
+        assert m.always_blocks[0].body.name == "blk"
+
+    def test_initial_block(self):
+        m = only_module("module m; reg q; initial q = 1'b0; endmodule")
+        assert len(m.initial_blocks) == 1
+
+    def test_system_task_statement(self):
+        m = only_module(
+            'module m; initial $display("hi", 3); endmodule'
+        )
+        assert isinstance(m.initial_blocks[0].body, ast.SystemTaskCall)
+
+
+class TestExpressions:
+    def _rhs(self, expr_text):
+        m = only_module(f"module m; wire x = {expr_text}; endmodule")
+        return m.nets[0].init
+
+    def test_precedence_arith_over_shift(self):
+        expr = self._rhs("a + b << 2")
+        assert isinstance(expr, ast.Binary) and expr.op == "<<"
+        assert expr.lhs.op == "+"
+
+    def test_precedence_and_over_or(self):
+        expr = self._rhs("a | b & c")
+        assert expr.op == "|"
+        assert expr.rhs.op == "&"
+
+    def test_power_right_associative(self):
+        expr = self._rhs("a ** b ** c")
+        assert expr.op == "**"
+        assert expr.rhs.op == "**"
+
+    def test_ternary_nested(self):
+        expr = self._rhs("a ? b : c ? d : e")
+        assert isinstance(expr, ast.Ternary)
+        assert isinstance(expr.other, ast.Ternary)
+
+    def test_concat_and_replication(self):
+        expr = self._rhs("{a, {3{b}}, c}")
+        assert isinstance(expr, ast.Concat)
+        assert isinstance(expr.parts[1], ast.Repeat)
+
+    def test_part_select_forms(self):
+        assert isinstance(self._rhs("a[7:4]"), ast.PartSelect)
+        assert isinstance(self._rhs("a[i]"), ast.Index)
+        plus = self._rhs("a[i +: 4]")
+        assert isinstance(plus, ast.IndexedPartSelect) and plus.ascending
+        minus = self._rhs("a[i -: 4]")
+        assert isinstance(minus, ast.IndexedPartSelect) and not minus.ascending
+
+    def test_system_function_call(self):
+        expr = self._rhs("$clog2(16)")
+        assert isinstance(expr, ast.SystemCall)
+
+    def test_unary_reduction(self):
+        expr = self._rhs("&a")
+        assert isinstance(expr, ast.Unary) and expr.op == "&"
+
+    def test_real_literal_rejected(self):
+        with pytest.raises(ParseError):
+            self._rhs("3.14")
+
+
+class TestInstances:
+    def test_named_connections_with_params(self):
+        m = only_module(
+            "module m(input clk, output [3:0] q);"
+            " counter #(.W(4)) u0 (.clk(clk), .q(q)); endmodule"
+        )
+        inst = m.instances[0]
+        assert inst.module_name == "counter"
+        assert inst.param_overrides[0][0] == "W"
+        assert inst.connections[0].name == "clk"
+
+    def test_positional_connections(self):
+        m = only_module(
+            "module m(input a, output y); inv u1 (a, y); endmodule"
+        )
+        assert all(c.name is None for c in m.instances[0].connections)
+
+    def test_multiple_instances_one_statement(self):
+        m = only_module(
+            "module m(input a, b, output x, y);"
+            " inv u1 (a, x), u2 (b, y); endmodule"
+        )
+        assert len(m.instances) == 2
+
+    def test_unconnected_named_port(self):
+        m = only_module(
+            "module m(input a); blk u0 (.x(a), .y()); endmodule"
+        )
+        assert m.instances[0].connections[1].expr is None
+
+
+class TestBasedLiterals:
+    def test_sized_hex(self):
+        n = parse_based_literal("8'hFF")
+        assert (n.value, n.width) == (255, 8)
+
+    def test_value_masked_to_width(self):
+        n = parse_based_literal("4'hFF")
+        assert n.value == 15
+
+    def test_signed_flag(self):
+        assert parse_based_literal("4'sb1010").signed
+
+    def test_unknown_digits_mask(self):
+        n = parse_based_literal("4'b1?0z")
+        assert n.has_unknown
+        assert n.unknown_mask == 0b0101
+        assert n.value == 0b1000
+
+    def test_decimal_x(self):
+        n = parse_based_literal("4'dx")
+        assert n.unknown_mask == 0b1111
+
+    def test_underscores_ignored(self):
+        assert parse_based_literal("16'hFF_FF").value == 0xFFFF
+
+    def test_bad_digit_for_base(self):
+        with pytest.raises(ParseError):
+            parse_based_literal("8'b123")
+
+
+class TestErrorRecoveryBoundaries:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "module m(input a; endmodule",        # bad port list
+            "module m; assign = 1; endmodule",    # missing lvalue
+            "module m; wire x = ; endmodule",     # missing expression
+            "module m; always @(posedge) q <= 1; endmodule",
+            "module m(input a) endmodule",        # missing semicolon
+            "module m; case (x) endcase endmodule",  # case outside always
+            "module m; generate endgenerate endmodule",  # unsupported
+        ],
+    )
+    def test_malformed_input_raises_parse_error(self, source):
+        with pytest.raises(ParseError):
+            parse_source(source)
+
+    def test_error_carries_position(self):
+        try:
+            parse_source("module m(\n  input a;\n endmodule")
+        except ParseError as exc:
+            assert exc.line == 2
+        else:
+            pytest.fail("expected ParseError")

@@ -1,0 +1,300 @@
+"""Every generator family must parse, elaborate, simulate, and (for a
+sample of families) match an independent Python reference model."""
+
+import pytest
+
+from repro.sim import Testbench, elaborate, random_stimulus
+from repro.utils.rng import DeterministicRNG
+from repro.vgen import FAMILIES, generate_family, random_style
+from repro.vgen.base import Style
+from repro.verilog import check_syntax, parse_source
+
+ALL_FAMILIES = sorted(FAMILIES)
+
+
+def make(family, seed=0, style=None):
+    return generate_family(family, DeterministicRNG(seed).fork(family), style)
+
+
+@pytest.mark.parametrize("family", ALL_FAMILIES)
+class TestEveryFamily:
+    def test_syntax_valid(self, family):
+        for seed in range(4):
+            module = make(family, seed)
+            report = check_syntax(module.source)
+            assert report.ok, (family, seed, report.errors)
+
+    def test_interface_matches_elaboration(self, family):
+        module = make(family, seed=1)
+        design = elaborate(parse_source(module.source), module.name)
+        declared_inputs = {s.name: s.width for s in design.inputs}
+        declared_outputs = {s.name: s.width for s in design.outputs}
+        iface = module.interface
+        for name, width in iface.inputs:
+            assert declared_inputs.get(name) == width, (family, name)
+        for name, width in iface.outputs:
+            assert declared_outputs.get(name) == width, (family, name)
+        if iface.clock:
+            assert iface.clock in declared_inputs
+        if iface.reset:
+            assert iface.reset in declared_inputs
+
+    def test_simulates_under_random_stimulus(self, family):
+        module = make(family, seed=2)
+        design = elaborate(parse_source(module.source), module.name)
+        bench = Testbench(
+            design,
+            clock=module.interface.clock,
+            reset=module.interface.reset,
+            reset_active_high=module.interface.reset_active_high,
+        )
+        bench.apply_reset()
+        for vector in random_stimulus(design, 16, seed=3):
+            outputs = bench.step(vector)
+            for name, value in outputs.items():
+                assert value >= 0
+
+    def test_description_is_prose(self, family):
+        module = make(family, seed=3)
+        assert module.description.endswith(".")
+        assert len(module.description.split()) >= 8
+
+    def test_header_prompt_is_prefix(self, family):
+        module = make(family, seed=4)
+        header = module.header_prompt()
+        assert module.source.startswith(header.rstrip("\n"))
+        assert header.rstrip().endswith(");")
+
+    def test_deterministic_for_same_seed(self, family):
+        assert make(family, seed=5).source == make(family, seed=5).source
+
+    def test_styles_vary_surface_not_validity(self, family):
+        rng = DeterministicRNG(77).fork(family)
+        a = generate_family(family, rng.fork(0), Style(indent="  ", comment="none", signal_flavor=0))
+        b = generate_family(family, rng.fork(0), Style(indent="    ", comment="banner", signal_flavor=2))
+        assert check_syntax(a.source).ok
+        assert check_syntax(b.source).ok
+
+
+class TestGoldenBehaviour:
+    """Spot-check selected families against Python reference models."""
+
+    def _bench(self, module):
+        design = elaborate(parse_source(module.source), module.name)
+        bench = Testbench(
+            design,
+            clock=module.interface.clock,
+            reset=module.interface.reset,
+            reset_active_high=module.interface.reset_active_high,
+        )
+        bench.apply_reset()
+        return design, bench
+
+    def test_adder(self):
+        module = make("adder", seed=11)
+        width = module.params["width"]
+        design, bench = self._bench(module)
+        for vector in random_stimulus(design, 30, seed=4):
+            out = bench.step(vector)
+            total = vector["a"] + vector["b"] + vector.get("cin", 0)
+            assert out["sum"] == total % (1 << width)
+            if module.params["has_cout"]:
+                assert out["cout"] == total >> width
+
+    def test_comparator(self):
+        module = make("comparator", seed=12)
+        design, bench = self._bench(module)
+        for vector in random_stimulus(design, 30, seed=5):
+            out = bench.step(vector)
+            assert out["lt"] == int(vector["a"] < vector["b"])
+            assert out["eq"] == int(vector["a"] == vector["b"])
+            assert out["gt"] == int(vector["a"] > vector["b"])
+
+    def test_parity(self):
+        module = make("parity", seed=13)
+        even = module.params["even"]
+        design, bench = self._bench(module)
+        for vector in random_stimulus(design, 30, seed=6):
+            out = bench.step(vector)
+            ones = bin(vector["data"]).count("1")
+            expected = (ones + 1) % 2 if even else ones % 2
+            assert out["parity"] == expected
+
+    def test_gray(self):
+        module = make("gray", seed=14)
+        design, bench = self._bench(module)
+        for vector in random_stimulus(design, 30, seed=7):
+            out = bench.step(vector)
+            assert out["gray"] == vector["bin"] ^ (vector["bin"] >> 1)
+
+    def test_popcount(self):
+        module = make("popcount", seed=15)
+        design, bench = self._bench(module)
+        for vector in random_stimulus(design, 30, seed=8):
+            out = bench.step(vector)
+            assert out["count"] == bin(vector["data"]).count("1")
+
+    def test_priority_encoder(self):
+        module = make("priority_encoder", seed=16)
+        design, bench = self._bench(module)
+        for vector in random_stimulus(design, 40, seed=9):
+            out = bench.step(vector)
+            value = vector["in"]
+            if value == 0:
+                assert out["valid"] == 0
+                assert out["y"] == 0
+            else:
+                assert out["valid"] == 1
+                assert out["y"] == value.bit_length() - 1
+
+    def test_counter_reference(self):
+        module = make("counter", seed=17)
+        width = module.params["width"]
+        direction = module.params["direction"]
+        design, bench = self._bench(module)
+        expected = 0
+        for vector in random_stimulus(design, 40, seed=10):
+            out = bench.step(vector)
+            if module.params["has_load"] and vector.get("load"):
+                expected = vector["din"]
+            elif vector["en"]:
+                if direction == 0:
+                    expected = (expected + 1) % (1 << width)
+                elif direction == 1:
+                    expected = (expected - 1) % (1 << width)
+                else:
+                    delta = 1 if vector.get("up") else -1
+                    expected = (expected + delta) % (1 << width)
+            assert out["count"] == expected
+
+    def test_mod_counter_wraps_and_flags(self):
+        module = make("mod_counter", seed=18)
+        modulo = module.params["modulo"]
+        design, bench = self._bench(module)
+        expected = 0
+        for _ in range(2 * modulo + 3):
+            out = bench.step({"en": 1})
+            expected = (expected + 1) % modulo
+            assert out["count"] == expected
+            assert out["tc"] == int(expected == modulo - 1)
+
+    def test_shift_register(self):
+        module = make("shift_register", seed=19)
+        width = module.params["width"]
+        msb_first = module.params["msb_first"]
+        design, bench = self._bench(module)
+        state = 0
+        for vector in random_stimulus(design, 40, seed=11):
+            out = bench.step(vector)
+            if vector["en"]:
+                if msb_first:
+                    state = ((state << 1) | vector["sin"]) & ((1 << width) - 1)
+                else:
+                    state = (state >> 1) | (vector["sin"] << (width - 1))
+            assert out["q"] == state
+
+    def test_sequence_detector(self):
+        module = make("sequence_detector", seed=20)
+        length = module.params["length"]
+        pattern = module.params["pattern"]
+        design, bench = self._bench(module)
+        history = 0
+        for vector in random_stimulus(design, 60, seed=12):
+            out = bench.step(vector)
+            history = ((history << 1) | vector["din"]) & ((1 << length) - 1)
+            assert out["found"] == int(history == pattern)
+
+    def test_accumulator(self):
+        module = make("accumulator", seed=21)
+        width = module.params["width"]
+        design, bench = self._bench(module)
+        acc = 0
+        for vector in random_stimulus(design, 30, seed=13):
+            out = bench.step(vector)
+            if vector["en"]:
+                acc = (acc + vector["din"]) % (1 << width)
+            assert out["acc_out"] == acc
+
+    def test_saturating_counter(self):
+        module = make("saturating_counter", seed=22)
+        width = module.params["width"]
+        top = (1 << width) - 1
+        design, bench = self._bench(module)
+        level = 0
+        for vector in random_stimulus(design, 50, seed=14):
+            out = bench.step(vector)
+            if vector["inc"] and not vector["dec"]:
+                level = min(level + 1, top)
+            elif vector["dec"] and not vector["inc"]:
+                level = max(level - 1, 0)
+            assert out["level"] == level
+
+    def test_fifo_order_and_flags(self):
+        module = make("fifo", seed=23)
+        depth = module.params["depth"]
+        design, bench = self._bench(module)
+        model = []
+        for vector in random_stimulus(design, 80, seed=15):
+            push, pop = vector["push"], vector["pop"]
+            pre_full = len(model) == depth
+            pre_empty = not model
+            out = bench.step(vector)
+            if push and not pre_full:
+                model.append(vector["din"])
+            if pop and not pre_empty:
+                model.pop(0)
+            assert out["count"] == len(model)
+            assert out["full"] == int(len(model) == depth)
+            assert out["empty"] == int(not model)
+            if model:
+                assert out["dout"] == model[0]
+
+    def test_register_file(self):
+        module = make("register_file", seed=24)
+        depth = module.params["depth"]
+        design, bench = self._bench(module)
+        model = [0] * depth
+        for vector in random_stimulus(design, 40, seed=16):
+            out = bench.step(vector)
+            if vector["we"]:
+                model[vector["waddr"]] = vector["wdata"]
+            assert out["rdata"] == model[vector["raddr"]]
+
+    def test_traffic_fsm_cycle(self):
+        module = make("traffic_fsm", seed=25)
+        g = module.params["green"]
+        y = module.params["yellow"]
+        r = module.params["red"]
+        design, bench = self._bench(module)
+        schedule = [0b001] * g + [0b010] * y + [0b100] * r
+        # after reset the FSM is at the start of green
+        for cycle in range(2 * len(schedule)):
+            lights = bench.sample()["lights"]
+            assert lights == schedule[cycle % len(schedule)], cycle
+            bench.step({})
+
+    def test_lfsr_is_maximal_length(self):
+        module = make("lfsr", seed=26)
+        width = module.params["width"]
+        design, bench = self._bench(module)
+        seen = set()
+        for _ in range(min((1 << width) - 1, 300)):
+            out = bench.step({"en": 1})
+            assert out["value"] != 0  # all-zero state is unreachable
+            seen.add(out["value"])
+        expected = min((1 << width) - 1, 300)
+        assert len(seen) == expected  # no early repetition
+
+    def test_ring_counter_one_hot(self):
+        module = make("onehot_rotator", seed=27)
+        design, bench = self._bench(module)
+        for _ in range(20):
+            out = bench.step({"en": 1})
+            assert bin(out["q"]).count("1") == 1
+
+
+class TestRandomStyle:
+    def test_random_style_fields(self):
+        style = random_style(DeterministicRNG(1))
+        assert style.comment in ("none", "short", "banner")
+        assert style.indent in ("  ", "    ", "   ")
