@@ -1,0 +1,144 @@
+"""Engine performance: chunked-parallel curation and incremental ingest.
+
+Two claims, measured at bench-world scale:
+
+1. the engine's chunked path (batched MinHash permutations, regex-lexed
+   syntax checks, streaming chunks) curates the corpus at least 2x faster
+   than the seed's serial whole-corpus loop, with byte-identical output;
+2. incrementally ingesting a 10% batch into a live
+   :class:`IncrementalCurator` is at least 5x faster than re-curating the
+   grown corpus from scratch, again with identical output.
+
+The serial baseline below is the seed's ``CurationPipeline.run`` loop,
+reproduced verbatim from the pre-engine implementation so the comparison
+survives the facade refactor.
+"""
+
+import gc
+import time
+
+from repro.curation import CopyrightFilter, CurationPipeline, IncrementalCurator, LicenseFilter
+from repro.curation.report import FunnelReport
+from repro.dedup import deduplicate
+from repro.verilog import check_syntax
+
+from benchmarks.conftest import write_result
+
+
+def seed_serial_curation(files):
+    """The seed pipeline, frozen: serial, whole-corpus, per-file hashing."""
+    funnel = FunnelReport()
+    current = list(files)
+    funnel.record("extracted", len(current), len(current))
+
+    before = len(current)
+    current = LicenseFilter(allow_unlicensed=False).apply(current)
+    funnel.record("license_filter", before, len(current))
+
+    before = len(current)
+    result = deduplicate([(f.file_id, f.content) for f in current])
+    kept = set(result.kept_keys)
+    current = [f for f in current if f.file_id in kept]
+    funnel.record("dedup", before, len(current))
+
+    before = len(current)
+    current = CopyrightFilter().apply(current)
+    funnel.record("copyright_filter", before, len(current))
+
+    before = len(current)
+    current = [f for f in current if check_syntax(f.content).ok]
+    funnel.record("syntax_check", before, len(current))
+    return current, funnel
+
+
+def _timed(fn, repeats=1):
+    """Best-of-N wall time with the cyclic GC paused during measurement.
+
+    The bench session keeps large fixtures (trained models, corpora)
+    alive, so generational scans triggered by allocation-heavy runs would
+    add noise proportional to *other* tests' heaps; pausing the collector
+    times both contenders on equal footing.
+    """
+    best, value = float("inf"), None
+    for _ in range(repeats):
+        gc.collect()
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            start = time.perf_counter()
+            value = fn()
+            best = min(best, time.perf_counter() - start)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+    return best, value
+
+
+def test_chunked_engine_speedup(benchmark, raw_files):
+    # Same repeats for both contenders: each gets best-of-2, so one-time
+    # warmup costs and noise spikes are discarded evenhandedly.
+    serial_seconds, (serial_files, serial_funnel) = _timed(
+        lambda: seed_serial_curation(raw_files), repeats=2
+    )
+    engine_seconds, dataset = _timed(
+        lambda: CurationPipeline().run(raw_files), repeats=2
+    )
+
+    # identical curation: same kept files, same funnel accounting
+    assert [f.file_id for f in serial_files] == [f.file_id for f in dataset.files]
+    assert [f.content for f in serial_files] == [f.content for f in dataset.files]
+    assert [
+        (s.name, s.in_count, s.out_count) for s in serial_funnel.stages
+    ] == [(s.name, s.in_count, s.out_count) for s in dataset.funnel.stages]
+
+    speedup = serial_seconds / engine_seconds
+    write_result(
+        "engine_speedup",
+        f"corpus: {len(raw_files)} files\n"
+        f"seed serial path:     {serial_seconds:8.3f} s\n"
+        f"engine chunked path:  {engine_seconds:8.3f} s\n"
+        f"speedup:              {speedup:8.2f} x\n"
+        f"(outputs byte-identical)",
+    )
+    assert speedup >= 2.0, f"engine only {speedup:.2f}x faster than seed path"
+
+    benchmark.pedantic(
+        lambda: CurationPipeline().run(raw_files), rounds=1, iterations=1
+    )
+
+
+def test_incremental_ingest_speedup(benchmark, raw_files):
+    # Stratified 90/10 split (every 10th file) so the increment carries
+    # the corpus-wide license/duplicate mix rather than one scrape facet.
+    batch = raw_files[::10]
+    base = [f for i, f in enumerate(raw_files) if i % 10]
+    corpus = base + batch
+
+    curator = IncrementalCurator()
+    curator.ingest(base)
+    incremental_seconds, _ = _timed(lambda: curator.ingest(batch))
+
+    full_seconds, full = _timed(lambda: CurationPipeline().run(corpus))
+
+    # one full pass over base+batch keeps exactly the incremental result
+    assert [f.content for f in curator.kept_files] == [
+        f.content for f in full.files
+    ]
+    assert [
+        (s.name, s.in_count, s.out_count) for s in curator.funnel.stages
+    ] == [(s.name, s.in_count, s.out_count) for s in full.funnel.stages]
+
+    speedup = full_seconds / incremental_seconds
+    write_result(
+        "engine_incremental",
+        f"corpus: {len(corpus)} files, increment: {len(batch)} files (10%)\n"
+        f"full recuration:      {full_seconds:8.3f} s\n"
+        f"incremental ingest:   {incremental_seconds:8.3f} s\n"
+        f"speedup:              {speedup:8.2f} x\n"
+        f"(cumulative output identical to full recuration)",
+    )
+    assert speedup >= 5.0, f"incremental only {speedup:.2f}x faster"
+
+    benchmark.pedantic(
+        lambda: IncrementalCurator().ingest(batch), rounds=1, iterations=1
+    )

@@ -11,6 +11,15 @@ depends on:
 * the FreeSet curation pipeline: license filter, file-level copyright
   filter, MinHash/LSH de-duplication, syntax check — with full funnel
   accounting;
+* the :mod:`repro.engine` execution substrate the pipeline compiles to:
+  stages stream the corpus in chunks (never materializing it per stage),
+  parallel-safe stages fan out across a process pool with an
+  order-preserving merge, batched MinHash permutations and a
+  regex-accelerated lexer speed the hot stages with bit-identical
+  results, and all stage state — including the dedup LSH index —
+  checkpoints to disk, so runs resume and new file batches ingest
+  incrementally (:class:`repro.curation.IncrementalCurator`) without
+  re-deduplicating the world;
 * a statistical language-model substrate in which continual pre-training
   is a literal count-table merge, reproducing both memorization (the
   copyright benchmark) and domain competence (VerilogEval pass@k);
@@ -37,7 +46,12 @@ from repro.core.comparison import (
     ModelZoo,
     simulate_prior_dataset,
 )
-from repro.curation import CurationConfig, CuratedDataset, CurationPipeline
+from repro.curation import (
+    CurationConfig,
+    CuratedDataset,
+    CurationPipeline,
+    IncrementalCurator,
+)
 from repro.copyright import CopyrightBenchmark, collect_copyrighted_corpus
 from repro.github import WorldConfig, generate_world
 from repro.llm import GenerationConfig, LanguageModel
@@ -58,6 +72,7 @@ __all__ = [
     "CurationConfig",
     "CuratedDataset",
     "CurationPipeline",
+    "IncrementalCurator",
     "CopyrightBenchmark",
     "collect_copyrighted_corpus",
     "WorldConfig",

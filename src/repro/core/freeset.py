@@ -42,9 +42,13 @@ class FreeSetBuilder:
         world: Optional[GitHubWorld] = None,
         world_config: Optional[WorldConfig] = None,
         curation_config: Optional[CurationConfig] = None,
+        chunk_size: Optional[int] = None,
+        executor=None,
     ) -> None:
         self.world = world if world is not None else generate_world(world_config)
         self.curation_config = curation_config or CurationConfig()
+        self.chunk_size = chunk_size
+        self.executor = executor
 
     def scrape(self) -> tuple:
         api = SimulatedGitHubAPI(self.world)
@@ -54,8 +58,23 @@ class FreeSetBuilder:
 
     def build(self, name: str = "FreeSet") -> FreeSetResult:
         files, report = self.scrape()
-        pipeline = CurationPipeline(self.curation_config)
+        pipeline = CurationPipeline(
+            self.curation_config,
+            chunk_size=self.chunk_size,
+            executor=self.executor,
+        )
         dataset = pipeline.run(files, name=name)
         return FreeSetResult(
             dataset=dataset, scrape_report=report, raw_files=files
+        )
+
+    def incremental_curator(self):
+        """An :class:`repro.curation.IncrementalCurator` with this
+        builder's curation policy, for batch-by-batch corpus growth."""
+        from repro.curation.incremental import IncrementalCurator
+
+        return IncrementalCurator(
+            self.curation_config,
+            chunk_size=self.chunk_size,
+            executor=self.executor,
         )

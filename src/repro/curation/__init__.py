@@ -26,9 +26,11 @@ from repro.curation.pipeline import (
     CuratedDataset,
     CurationPipeline,
 )
+from repro.curation.incremental import IncrementalCurator
 from repro.curation.report import FunnelReport, FunnelStage
 
 __all__ = [
+    "IncrementalCurator",
     "LicenseFilter",
     "CopyrightFilter",
     "DEFAULT_COPYRIGHT_KEYWORDS",

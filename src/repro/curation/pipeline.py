@@ -1,17 +1,22 @@
-"""The end-to-end curation pipeline producing a curated dataset."""
+"""The end-to-end curation pipeline producing a curated dataset.
+
+Since the engine refactor, :class:`CurationPipeline` is a thin facade: it
+*compiles* a :class:`CurationConfig` into a declarative stage-spec list,
+builds a :class:`repro.engine.StageGraph` through the stage registry, and
+derives the paper's :class:`FunnelReport` from the engine's per-stage
+metrics.  Output (kept files and funnel counts) is identical to the
+seed's serial loop; execution is chunked, streamable, and optionally
+parallel.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Iterable, List, Mapping, Optional, Tuple
 
-from repro.curation.copyright_filter import CopyrightFilter
-from repro.curation.license_filter import LicenseFilter
-from repro.curation.report import FunnelReport
-from repro.dedup import deduplicate
+from repro.curation.report import FunnelReport, funnel_from_graph
 from repro.dedup.dedup import DEFAULT_DEDUP_THRESHOLD
 from repro.github.scraper import ScrapedFile
-from repro.verilog import check_syntax
 
 
 @dataclass
@@ -34,6 +39,25 @@ class CurationConfig:
     max_file_chars: Optional[int] = None
     seed: int = 0x5EED
 
+    def stage_specs(self) -> List[Tuple[str, Mapping]]:
+        """The declarative stage list this config compiles to."""
+        specs: List[Tuple[str, Mapping]] = []
+        if self.license_check:
+            specs.append(
+                ("license_filter", {"allow_unlicensed": self.allow_unlicensed})
+            )
+        if self.max_file_chars is not None:
+            specs.append(("length_cap", {"max_chars": self.max_file_chars}))
+        if self.dedup:
+            specs.append(
+                ("dedup", {"threshold": self.dedup_threshold, "seed": self.seed})
+            )
+        if self.copyright_check:
+            specs.append(("copyright_filter", {}))
+        if self.syntax_check:
+            specs.append(("syntax_check", {}))
+        return specs
+
 
 @dataclass
 class CuratedDataset:
@@ -47,6 +71,11 @@ class CuratedDataset:
     open_source: bool = True
     license_check: bool = True
     copyright_check: bool = True
+    #: lazily computed by :attr:`size_bytes`; Table I benchmarks read the
+    #: size per row, so re-encoding the corpus on every access is O(n^2)
+    _size_bytes: Optional[int] = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def rows(self) -> int:
@@ -54,7 +83,11 @@ class CuratedDataset:
 
     @property
     def size_bytes(self) -> int:
-        return sum(len(f.content.encode("utf-8")) for f in self.files)
+        if self._size_bytes is None:
+            self._size_bytes = sum(
+                len(f.content.encode("utf-8")) for f in self.files
+            )
+        return self._size_bytes
 
     def texts(self) -> List[str]:
         return [f.content for f in self.files]
@@ -64,58 +97,47 @@ class CuratedDataset:
 
 
 class CurationPipeline:
-    """Runs the staged curation over scraped files with funnel accounting."""
+    """Runs the staged curation over scraped files with funnel accounting.
 
-    def __init__(self, config: Optional[CurationConfig] = None) -> None:
+    ``chunk_size`` and ``executor`` tune the underlying engine run;
+    the defaults stream serially in chunks and match the seed pipeline's
+    output exactly.
+    """
+
+    def __init__(
+        self,
+        config: Optional[CurationConfig] = None,
+        chunk_size: Optional[int] = None,
+        executor=None,
+    ) -> None:
         self.config = config or CurationConfig()
+        self.chunk_size = chunk_size
+        self.executor = executor
+
+    def compile(self):
+        """Build the engine :class:`StageGraph` for this configuration."""
+        # Imported lazily: repro.engine's stages import curation filters,
+        # so a top-level import here would be circular.
+        from repro.engine import DEFAULT_CHUNK_SIZE, StageGraph, build_stages
+
+        chunk_size = (
+            self.chunk_size if self.chunk_size is not None else DEFAULT_CHUNK_SIZE
+        )
+        return StageGraph(
+            build_stages(self.config.stage_specs()),
+            chunk_size=chunk_size,
+            executor=self.executor,
+        )
 
     def run(
-        self, files: Sequence[ScrapedFile], name: str = "FreeSet"
+        self, files: Iterable[ScrapedFile], name: str = "FreeSet"
     ) -> CuratedDataset:
-        config = self.config
-        funnel = FunnelReport()
-        current: List[ScrapedFile] = list(files)
-        funnel.record("extracted", len(current), len(current))
-
-        if config.license_check:
-            before = len(current)
-            current = LicenseFilter(
-                allow_unlicensed=config.allow_unlicensed
-            ).apply(current)
-            funnel.record("license_filter", before, len(current))
-
-        if config.max_file_chars is not None:
-            before = len(current)
-            current = [
-                f for f in current if len(f.content) <= config.max_file_chars
-            ]
-            funnel.record("length_cap", before, len(current))
-
-        if config.dedup:
-            before = len(current)
-            result = deduplicate(
-                [(f.file_id, f.content) for f in current],
-                threshold=config.dedup_threshold,
-                seed=config.seed,
-            )
-            kept = set(result.kept_keys)
-            current = [f for f in current if f.file_id in kept]
-            funnel.record("dedup", before, len(current))
-
-        if config.copyright_check:
-            before = len(current)
-            current = CopyrightFilter().apply(current)
-            funnel.record("copyright_filter", before, len(current))
-
-        if config.syntax_check:
-            before = len(current)
-            current = [f for f in current if check_syntax(f.content).ok]
-            funnel.record("syntax_check", before, len(current))
-
+        graph = self.compile()
+        current = graph.run(files)
         return CuratedDataset(
             name=name,
             files=current,
-            funnel=funnel,
-            license_check=config.license_check,
-            copyright_check=config.copyright_check,
+            funnel=funnel_from_graph(graph),
+            license_check=self.config.license_check,
+            copyright_check=self.config.copyright_check,
         )

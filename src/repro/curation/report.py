@@ -30,6 +30,11 @@ class FunnelReport:
     stages: List[FunnelStage] = field(default_factory=list)
 
     def record(self, name: str, in_count: int, out_count: int) -> FunnelStage:
+        if in_count < 0 or out_count < 0:
+            raise ValueError(
+                f"stage {name!r} recorded negative counts "
+                f"({in_count} -> {out_count})"
+            )
         if out_count > in_count:
             raise ValueError(f"stage {name!r} produced more files than it saw")
         stage = FunnelStage(name=name, in_count=in_count, out_count=out_count)
@@ -51,13 +56,33 @@ class FunnelReport:
         return self.stages[-1].out_count if self.stages else 0
 
     def to_text(self) -> str:
-        """Render the funnel as an aligned table (the Sec. IV-A series)."""
+        """Render the funnel as an aligned table (the Sec. IV-A series).
+
+        The stage column widens to fit the longest name so custom engine
+        stages with long names stay aligned; the default stages keep the
+        seed's exact 22-column layout.
+        """
+        width = max([22] + [len(s.name) + 1 for s in self.stages])
         lines = [
-            f"{'stage':<22}{'in':>10}{'out':>10}{'removed':>10}{'frac':>8}"
+            f"{'stage':<{width}}{'in':>10}{'out':>10}{'removed':>10}{'frac':>8}"
         ]
         for stage in self.stages:
             lines.append(
-                f"{stage.name:<22}{stage.in_count:>10}{stage.out_count:>10}"
+                f"{stage.name:<{width}}{stage.in_count:>10}{stage.out_count:>10}"
                 f"{stage.removed:>10}{stage.removal_fraction:>8.3f}"
             )
         return "\n".join(lines)
+
+
+def funnel_from_graph(graph) -> FunnelReport:
+    """Derive the paper's funnel from an engine run's metrics.
+
+    ``graph`` is a :class:`repro.engine.StageGraph` (duck-typed here to
+    keep the report module engine-free): total items fed become the
+    ``extracted`` stage, then each stage metric records in order.
+    """
+    funnel = FunnelReport()
+    funnel.record("extracted", graph.items_in, graph.items_in)
+    for metric in graph.metrics:
+        funnel.record(metric.name, metric.in_count, metric.out_count)
+    return funnel

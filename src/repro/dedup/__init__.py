@@ -10,9 +10,10 @@ from repro.dedup.shingle import shingles, shingle_hashes
 from repro.dedup.jaccard import jaccard_similarity
 from repro.dedup.minhash import MinHasher, MinHashSignature, estimate_jaccard
 from repro.dedup.lsh import LSHIndex, choose_bands
-from repro.dedup.dedup import DedupResult, deduplicate
+from repro.dedup.dedup import DedupResult, StreamingDeduplicator, deduplicate
 
 __all__ = [
+    "StreamingDeduplicator",
     "shingles",
     "shingle_hashes",
     "jaccard_similarity",

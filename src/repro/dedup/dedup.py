@@ -47,6 +47,70 @@ class DedupResult:
         return self.removed_count / total if total else 0.0
 
 
+class StreamingDeduplicator:
+    """Order-preserving streaming dedup with externally ownable state.
+
+    Files are offered one (or a batch) at a time; the LSH index of kept
+    files persists between offers, so a caller can feed incremental
+    batches across a long-lived run — or pickle the whole object as a
+    checkpoint — without ever re-deduplicating already-processed files.
+    Candidates are scanned in index insertion order, so the
+    ``removed -> kept`` attribution is stable across ``PYTHONHASHSEED``.
+    """
+
+    def __init__(
+        self,
+        threshold: float = DEFAULT_DEDUP_THRESHOLD,
+        num_permutations: int = DEFAULT_NUM_PERMUTATIONS,
+        seed: int = 0x5EED,
+    ) -> None:
+        self.threshold = threshold
+        self.hasher = MinHasher(num_permutations=num_permutations, seed=seed)
+        bands, rows = choose_bands(num_permutations, threshold)
+        self.index = LSHIndex(bands, rows)
+        self.result = DedupResult(threshold=threshold)
+
+    def offer_signature(self, key: Hashable, signature) -> bool:
+        """Keep ``key`` unless ``signature`` duplicates a kept file.
+
+        Returns True when the file was kept (and indexed).
+        """
+        match = None
+        for candidate in self.index.candidates_in_order(signature):
+            self.result.candidate_checks += 1
+            if (
+                estimate_jaccard(signature, self.index.signature_of(candidate))
+                >= self.threshold
+            ):
+                match = candidate
+                break
+        if match is None:
+            self.index.insert(key, signature)
+            self.result.kept_keys.append(key)
+            return True
+        self.result.removed[key] = match
+        return False
+
+    def offer(self, key: Hashable, text: str) -> bool:
+        """Signature-and-offer one ``(key, text)`` pair."""
+        return self.offer_signature(key, self.hasher.signature(text))
+
+    def offer_batch(
+        self, items: Sequence[Tuple[Hashable, str]]
+    ) -> List[Hashable]:
+        """Offer many pairs, batching signature computation; returns kept keys.
+
+        Semantically identical to calling :meth:`offer` in sequence — the
+        batch only vectorizes the MinHash permutations.
+        """
+        signatures = self.hasher.signatures([text for _, text in items])
+        return [
+            key
+            for (key, _), signature in zip(items, signatures)
+            if self.offer_signature(key, signature)
+        ]
+
+
 def deduplicate(
     items: Sequence[Tuple[Hashable, str]],
     threshold: float = DEFAULT_DEDUP_THRESHOLD,
@@ -58,22 +122,9 @@ def deduplicate(
     Returns which keys were kept and, for each removed key, the retained
     key it matched.
     """
-    hasher = MinHasher(num_permutations=num_permutations, seed=seed)
-    bands, rows = choose_bands(num_permutations, threshold)
-    index = LSHIndex(bands, rows)
-    result = DedupResult(threshold=threshold)
-
+    dedup = StreamingDeduplicator(
+        threshold=threshold, num_permutations=num_permutations, seed=seed
+    )
     for key, text in items:
-        signature = hasher.signature(text)
-        match = None
-        for candidate in index.candidates(signature):
-            result.candidate_checks += 1
-            if estimate_jaccard(signature, index.signature_of(candidate)) >= threshold:
-                match = candidate
-                break
-        if match is None:
-            index.insert(key, signature)
-            result.kept_keys.append(key)
-        else:
-            result.removed[key] = match
-    return result
+        dedup.offer(key, text)
+    return dedup.result

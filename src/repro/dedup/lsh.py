@@ -45,6 +45,8 @@ class LSHIndex:
             defaultdict(list) for _ in range(bands)
         ]
         self._signatures: Dict[Hashable, MinHashSignature] = {}
+        #: key -> insertion sequence number, for order-stable candidate scans
+        self._insert_seq: Dict[Hashable, int] = {}
 
     def _band_keys(self, signature: MinHashSignature) -> Iterable[bytes]:
         expected = self.bands * self.rows
@@ -60,6 +62,7 @@ class LSHIndex:
     def insert(self, key: Hashable, signature: MinHashSignature) -> None:
         if key in self._signatures:
             raise KeyError(f"duplicate key {key!r}")
+        self._insert_seq[key] = len(self._signatures)
         self._signatures[key] = signature
         for band, band_key in enumerate(self._band_keys(signature)):
             self._buckets[band][band_key].append(key)
@@ -70,6 +73,16 @@ class LSHIndex:
         for band, band_key in enumerate(self._band_keys(signature)):
             found.update(self._buckets[band].get(band_key, ()))
         return found
+
+    def candidates_in_order(self, signature: MinHashSignature) -> List[Hashable]:
+        """:meth:`candidates`, ordered by key insertion.
+
+        Keys are hashable but their *hash-set* iteration order varies with
+        ``PYTHONHASHSEED``; scanning candidates in insertion order keeps
+        consumers (notably dedup attribution) deterministic across runs.
+        """
+        found = self.candidates(signature)
+        return sorted(found, key=self._insert_seq.__getitem__)
 
     def __len__(self) -> int:
         return len(self._signatures)

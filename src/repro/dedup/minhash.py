@@ -80,3 +80,44 @@ class MinHasher:
     def signature(self, text: str) -> MinHashSignature:
         """Signature of raw text (shingling + hashing + permutations)."""
         return self.signature_of_hashes(shingle_hashes(text, self.shingle_width))
+
+    def signatures_of_hashes(self, hash_arrays) -> "list[MinHashSignature]":
+        """Batch form of :meth:`signature_of_hashes` over many documents.
+
+        Concatenates all shingle-hash arrays and evaluates each permutation
+        once over the whole batch with per-document segment minima
+        (``np.minimum.reduceat``).  The arithmetic is the exact same
+        ``(a*x + b) mod p`` in uint64, so every returned signature is
+        bit-identical to the per-document path — only the Python-level
+        loop count drops from ``permutations * documents`` to
+        ``permutations``.
+        """
+        out: "list[MinHashSignature]" = [None] * len(hash_arrays)  # type: ignore[list-item]
+        nonempty = [i for i, arr in enumerate(hash_arrays) if arr.size]
+        for i, arr in enumerate(hash_arrays):
+            if not arr.size:
+                out[i] = MinHashSignature(
+                    values=np.full(self.num_permutations, _PRIME, dtype=np.uint64)
+                )
+        if not nonempty:
+            return out
+        concat = (
+            np.concatenate([hash_arrays[i] for i in nonempty]).astype(np.uint64)
+            % _PRIME
+        )
+        sizes = np.array([hash_arrays[i].size for i in nonempty], dtype=np.int64)
+        offsets = np.zeros(len(nonempty), dtype=np.int64)
+        np.cumsum(sizes[:-1], out=offsets[1:])
+        mins = np.empty((len(nonempty), self.num_permutations), dtype=np.uint64)
+        for p in range(self.num_permutations):
+            row = (self._a[p] * concat + self._b[p]) % _PRIME
+            mins[:, p] = np.minimum.reduceat(row, offsets)
+        for j, i in enumerate(nonempty):
+            out[i] = MinHashSignature(values=mins[j].copy())
+        return out
+
+    def signatures(self, texts) -> "list[MinHashSignature]":
+        """Batch signatures of raw texts; equals ``[signature(t) for t in texts]``."""
+        return self.signatures_of_hashes(
+            [shingle_hashes(t, self.shingle_width) for t in texts]
+        )

@@ -1,0 +1,73 @@
+"""Durable pickle-per-key checkpoint store.
+
+Writes are atomic (temp file + ``os.replace``) so a crash mid-save never
+corrupts the previous snapshot; a resumed run either sees the old state
+or the new one, never a torn file.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any, List, Union
+
+
+class CheckpointStore:
+    """Directory-backed key/value store for engine snapshots."""
+
+    SUFFIX = ".ckpt"
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> Path:
+        if not key or "/" in key or key.startswith("."):
+            raise ValueError(f"invalid checkpoint key {key!r}")
+        return self.root / f"{key}{self.SUFFIX}"
+
+    def save(self, key: str, obj: Any) -> None:
+        """Atomically persist ``obj`` under ``key``."""
+        path = self._path(key)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(self.root), prefix=f".{key}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(obj, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def load(self, key: str, default: Any = None) -> Any:
+        path = self._path(key)
+        if not path.exists():
+            return default
+        with open(path, "rb") as handle:
+            return pickle.load(handle)
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def keys(self) -> List[str]:
+        return sorted(
+            p.name[: -len(self.SUFFIX)]
+            for p in self.root.glob(f"*{self.SUFFIX}")
+        )
+
+    def delete(self, key: str) -> bool:
+        path = self._path(key)
+        if path.exists():
+            path.unlink()
+            return True
+        return False
+
+    def clear(self) -> None:
+        for key in self.keys():
+            self.delete(key)

@@ -1,0 +1,56 @@
+"""Declarative stage registry.
+
+Stages register under a short name; pipelines are then *declared* as
+``(name, params)`` spec lists and compiled with :func:`build_stages`.
+This keeps stage composition data — a config, a checkpoint, a CLI flag —
+rather than code, and lets downstream packages add stages without
+touching the engine.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping, Sequence, Tuple, Union
+
+from repro.engine.stage import Stage
+
+_REGISTRY: Dict[str, Callable[..., Stage]] = {}
+
+StageSpec = Union[str, Tuple[str, Mapping]]
+
+
+def register_stage(name: str):
+    """Class/factory decorator adding a stage under ``name``."""
+
+    def decorate(factory: Callable[..., Stage]) -> Callable[..., Stage]:
+        if name in _REGISTRY:
+            raise ValueError(f"stage {name!r} already registered")
+        _REGISTRY[name] = factory
+        return factory
+
+    return decorate
+
+
+def registered_stages() -> Tuple[str, ...]:
+    return tuple(sorted(_REGISTRY))
+
+
+def create_stage(name: str, **params) -> Stage:
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown stage {name!r}; registered: {registered_stages()}"
+        ) from None
+    return factory(**params)
+
+
+def build_stages(specs: Sequence[StageSpec]) -> List[Stage]:
+    """Compile ``["license_filter", ("dedup", {...}), ...]`` into stages."""
+    stages: List[Stage] = []
+    for spec in specs:
+        if isinstance(spec, str):
+            stages.append(create_stage(spec))
+        else:
+            name, params = spec
+            stages.append(create_stage(name, **dict(params)))
+    return stages

@@ -1,0 +1,120 @@
+"""Stage protocol and per-stage metrics for the execution engine.
+
+A :class:`Stage` transforms one *chunk* (a list of items) at a time.
+Filter and map stages are pure per-item functions and may be fanned out
+across worker processes; stateful stages (de-duplication) mutate internal
+state and always run in the driving process, in stream order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, List, Sequence
+
+
+@dataclass
+class StageMetrics:
+    """In/out accounting and throughput for one stage of one run."""
+
+    name: str
+    in_count: int = 0
+    out_count: int = 0
+    wall_seconds: float = 0.0
+    chunks: int = 0
+
+    @property
+    def removed(self) -> int:
+        return self.in_count - self.out_count
+
+    @property
+    def removal_fraction(self) -> float:
+        return self.removed / self.in_count if self.in_count else 0.0
+
+    @property
+    def items_per_second(self) -> float:
+        return self.in_count / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    def record_chunk(self, in_count: int, out_count: int, seconds: float) -> None:
+        self.in_count += in_count
+        self.out_count += out_count
+        self.wall_seconds += seconds
+        self.chunks += 1
+
+    def reset(self) -> None:
+        self.in_count = 0
+        self.out_count = 0
+        self.wall_seconds = 0.0
+        self.chunks = 0
+
+    def to_text(self) -> str:
+        return (
+            f"{self.name:<18} in={self.in_count:<7} out={self.out_count:<7} "
+            f"removed={self.removed:<7} {self.wall_seconds:7.3f}s "
+            f"{self.items_per_second:10.0f} items/s"
+        )
+
+
+class Stage:
+    """Base class for all engine stages."""
+
+    #: funnel/metrics name; also the registry key for registered stages
+    name: str = "stage"
+    #: True when ``process`` is a pure function of the chunk (no state),
+    #: so chunks may be dispatched to worker processes in any order
+    parallel_safe: bool = True
+
+    def reset(self) -> None:
+        """Clear any accumulated state before a fresh run."""
+
+    def process(self, chunk: Sequence[Any]) -> List[Any]:
+        raise NotImplementedError
+
+    # -- checkpointing ----------------------------------------------------
+
+    def state_dict(self) -> Any:
+        """Picklable snapshot of stage state (None for stateless stages)."""
+        return None
+
+    def load_state(self, state: Any) -> None:
+        """Restore state captured by :meth:`state_dict`."""
+
+
+class FilterStage(Stage):
+    """Keeps items satisfying :meth:`accepts`; order-preserving."""
+
+    def accepts(self, item: Any) -> bool:
+        raise NotImplementedError
+
+    def process(self, chunk: Sequence[Any]) -> List[Any]:
+        return [item for item in chunk if self.accepts(item)]
+
+
+class MapStage(Stage):
+    """Transforms every item via :meth:`map_item` (1:1, order-preserving)."""
+
+    def map_item(self, item: Any) -> Any:
+        raise NotImplementedError
+
+    def process(self, chunk: Sequence[Any]) -> List[Any]:
+        return [self.map_item(item) for item in chunk]
+
+
+class StatefulStage(Stage):
+    """Marker base for stages carrying cross-chunk state.
+
+    Such stages must see every chunk exactly once, in stream order, in
+    the driving process — the graph never fans them out.
+    """
+
+    parallel_safe = False
+
+
+class FunctionFilterStage(FilterStage):
+    """A filter stage from a plain (picklable) predicate."""
+
+    def __init__(self, name: str, predicate: Callable[[Any], bool]) -> None:
+        self.name = name
+        self._predicate = predicate
+
+    def accepts(self, item: Any) -> bool:
+        return self._predicate(item)

@@ -10,9 +10,31 @@ broken, so the stripper is a small scanner that respects string literals).
 from __future__ import annotations
 
 import re
-from typing import List
 
 _WS_RE = re.compile(r"\s+")
+
+#: One left-to-right scan: string literals (kept verbatim, honouring
+#: escapes, unterminated runs to end of input), line comments (removed),
+#: and block comments, terminated or not (replaced by one space).  The
+#: alternation order makes comment markers inside strings — and quotes
+#: inside comments — inert, exactly like a character-by-character scanner.
+_STRIP_RE = re.compile(
+    r'"(?:\\.|[^"\\])*(?:"|\\?\Z)'
+    r"|//[^\n]*"
+    r"|/\*.*?\*/"
+    r"|/\*.*\Z",
+    re.DOTALL,
+)
+
+
+def _strip_repl(match: "re.Match") -> str:
+    text = match.group()
+    if text[0] == '"':
+        return text
+    if text[1] == "/":  # line comment
+        return ""
+    # Preserve a separator so tokens do not merge across block comments.
+    return " "
 
 
 def strip_comments(text: str) -> str:
@@ -22,42 +44,7 @@ def strip_comments(text: str) -> str:
     kept.  Unterminated block comments run to the end of input, matching
     compiler behaviour.
     """
-    out: List[str] = []
-    i = 0
-    n = len(text)
-    while i < n:
-        ch = text[i]
-        nxt = text[i + 1] if i + 1 < n else ""
-        if ch == '"':
-            # Copy the string literal verbatim, honouring escapes.
-            out.append(ch)
-            i += 1
-            while i < n:
-                out.append(text[i])
-                if text[i] == "\\" and i + 1 < n:
-                    out.append(text[i + 1])
-                    i += 2
-                    continue
-                if text[i] == '"':
-                    i += 1
-                    break
-                i += 1
-            continue
-        if ch == "/" and nxt == "/":
-            while i < n and text[i] != "\n":
-                i += 1
-            continue
-        if ch == "/" and nxt == "*":
-            i += 2
-            while i + 1 < n and not (text[i] == "*" and text[i + 1] == "/"):
-                i += 1
-            i = min(i + 2, n)
-            # Preserve a separator so tokens do not merge across comments.
-            out.append(" ")
-            continue
-        out.append(ch)
-        i += 1
-    return "".join(out)
+    return _STRIP_RE.sub(_strip_repl, text)
 
 
 def normalize_whitespace(text: str) -> str:

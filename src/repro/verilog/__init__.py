@@ -23,6 +23,7 @@ Supported subset (the synthesizable constructs our corpus generators emit):
 
 from repro.verilog.tokens import Token, TokenKind, KEYWORDS
 from repro.verilog.lexer import Lexer, lex
+from repro.verilog.fastlex import check_syntax_fast, lex_fast
 from repro.verilog.parser import Parser, parse_source
 from repro.verilog.syntax import SyntaxReport, check_syntax
 from repro.verilog import ast
@@ -33,6 +34,8 @@ __all__ = [
     "KEYWORDS",
     "Lexer",
     "lex",
+    "lex_fast",
+    "check_syntax_fast",
     "Parser",
     "parse_source",
     "SyntaxReport",

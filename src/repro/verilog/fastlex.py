@@ -1,0 +1,156 @@
+"""Regex-accelerated lexer with a token stream identical to :mod:`lexer`.
+
+The hand-written :class:`repro.verilog.lexer.Lexer` advances one character
+per Python-level loop iteration, which makes the syntax-check stage the
+dominant cost of corpus curation.  This module implements the *same* token
+grammar as one compiled regex alternation plus a small procedural string
+scanner, so the per-token cost is a single C-level match instead of tens
+of Python calls.
+
+Equivalence contract (relied on by the execution engine and enforced by
+``tests/test_fastlex.py``): for any input, ``lex_fast(source)`` either
+returns exactly ``lex(source)`` — same kinds, texts, lines, and columns —
+or raises :class:`LexError` exactly when ``lex`` raises (error messages
+and positions may differ; the success/failure verdict may not).  Feeding
+the tokens to the shared :class:`repro.verilog.parser.Parser` therefore
+yields byte-identical parse results, and :func:`check_syntax_fast` is a
+drop-in replacement for :func:`repro.verilog.syntax.check_syntax`.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from repro.errors import LexError
+from repro.verilog.tokens import (
+    KEYWORDS,
+    MULTI_CHAR_OPS,
+    SINGLE_CHAR_OPS,
+    Token,
+    TokenKind,
+)
+
+#: whitespace, line comments, and *terminated* block comments; an
+#: unterminated ``/*`` is left unconsumed and detected in the main loop.
+_TRIVIA_RE = re.compile(r"(?:[ \t\r\n]+|//[^\n]*|/\*.*?\*/)+", re.DOTALL)
+
+_OP_PATTERN = "|".join(re.escape(op) for op in MULTI_CHAR_OPS) + (
+    "|[" + re.escape("".join(sorted(SINGLE_CHAR_OPS))) + "]"
+)
+
+#: One alternation per token class, in the reference lexer's dispatch
+#: order where prefixes overlap (sized/unsized based numbers must be tried
+#: before plain numbers).  Unsized based literals admit no sign flag —
+#: ``'sb1`` is an error in the reference lexer, so it must not match here.
+_TOKEN_RE = re.compile(
+    r"(?P<directive>`(?:\\\n|[^\n])*)"
+    r"|(?P<ident>[A-Za-z_][A-Za-z0-9_$]*)"
+    r"|(?P<system>\$[A-Za-z_][A-Za-z0-9_$]*)"
+    r"|(?P<based>(?:[0-9][0-9_]*'[sS]?|')[bBoOdDhH][0-9a-fA-FxXzZ?_]+)"
+    r"|(?P<number>[0-9][0-9_]*(?:\.[0-9]+)?)"
+    rf"|(?P<op>{_OP_PATTERN})"
+)
+
+_GROUP_KINDS = {
+    "directive": TokenKind.DIRECTIVE,
+    "system": TokenKind.SYSTEM_IDENT,
+    "based": TokenKind.BASED_NUMBER,
+    "number": TokenKind.NUMBER,
+    "op": TokenKind.OP,
+}
+
+_STRING_ESCAPES = {"n": "\n", "t": "\t", "\\": "\\", '"': '"'}
+
+
+def _lex_string(source: str, pos: int, line: int, col: int):
+    """Scan a string literal starting at the opening quote.
+
+    Mirrors the reference lexer exactly: recognized escapes are decoded,
+    unknown escapes keep the escaped character, a raw newline or EOF
+    before the closing quote is an error.  Returns ``(token, end_pos)``.
+    """
+    n = len(source)
+    i = pos + 1
+    chars: List[str] = []
+    while True:
+        if i >= n:
+            raise LexError("unterminated string literal", line, col)
+        ch = source[i]
+        if ch == "\n":
+            raise LexError("newline in string literal", line, col)
+        if ch == "\\":
+            nxt = source[i + 1] if i + 1 < n else ""
+            chars.append(_STRING_ESCAPES.get(nxt, nxt))
+            i += 2
+            continue
+        if ch == '"':
+            return Token(TokenKind.STRING, "".join(chars), line, col), i + 1
+        chars.append(ch)
+        i += 1
+
+
+def lex_fast(source: str) -> List[Token]:
+    """Lex ``source`` into the same token list :func:`lexer.lex` returns."""
+    tokens: List[Token] = []
+    pos = 0
+    n = len(source)
+    line = 1
+    bol = 0  # index of the first character of the current line
+    trivia_match = _TRIVIA_RE.match
+    token_match = _TOKEN_RE.match
+
+    while True:
+        trivia = trivia_match(source, pos)
+        if trivia:
+            segment = trivia.group()
+            newlines = segment.count("\n")
+            if newlines:
+                line += newlines
+                bol = pos + segment.rfind("\n") + 1
+            pos = trivia.end()
+        if pos >= n:
+            tokens.append(Token(TokenKind.EOF, "", line, pos - bol + 1))
+            return tokens
+        col = pos - bol + 1
+        ch = source[pos]
+        if ch == "/" and source.startswith("/*", pos):
+            # Trivia stopped on an unterminated block comment.
+            raise LexError("unterminated block comment", line, col)
+        if ch == '"':
+            token, end = _lex_string(source, pos, line, col)
+            tokens.append(token)
+            # An escaped newline inside a string spans lines; keep the
+            # line/column bookkeeping in step with the reference lexer.
+            segment = source[pos:end]
+            if "\n" in segment:
+                line += segment.count("\n")
+                bol = pos + segment.rfind("\n") + 1
+            pos = end
+            continue
+        match = token_match(source, pos)
+        if match is None:
+            raise LexError(f"illegal character {ch!r}", line, col)
+        text = match.group()
+        group = match.lastgroup
+        if group == "ident":
+            kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+        else:
+            kind = _GROUP_KINDS[group]
+        tokens.append(Token(kind, text, line, col))
+        if group == "directive" and "\n" in text:
+            # Multi-line `define with line continuations.
+            line += text.count("\n")
+            bol = pos + text.rfind("\n") + 1
+        pos = match.end()
+
+
+def check_syntax_fast(source: str):
+    """:func:`repro.verilog.syntax.check_syntax` via the fast lexer.
+
+    Identical verdicts by the equivalence contract above; the engine's
+    syntax stage uses this entry point on whole-corpus runs.
+    """
+    from repro.verilog.syntax import check_with_lexer
+
+    return check_with_lexer(source, lex_fast)

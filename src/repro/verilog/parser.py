@@ -32,6 +32,11 @@ _BINARY_TIERS: Tuple[Tuple[str, ...], ...] = (
     ("*", "/", "%"),
 )
 
+#: operator -> tier index (higher binds tighter), for precedence climbing
+_BINARY_OP_TIER = {
+    op: tier for tier, ops in enumerate(_BINARY_TIERS) for op in ops
+}
+
 _UNARY_OPS = frozenset(["~", "!", "-", "+", "&", "|", "^", "~&", "~|", "~^"])
 
 _BASE_RADIX = {"b": 2, "o": 8, "d": 10, "h": 16}
@@ -107,8 +112,12 @@ class Parser:
     # -- token helpers ------------------------------------------------------
 
     def _peek(self, offset: int = 0) -> Token:
-        idx = min(self._pos + offset, len(self._tokens) - 1)
-        return self._tokens[idx]
+        # The token list always ends with EOF and _advance never moves
+        # past it, so the zero-offset hot path needs no bounds clamp.
+        if offset:
+            idx = min(self._pos + offset, len(self._tokens) - 1)
+            return self._tokens[idx]
+        return self._tokens[self._pos]
 
     def _advance(self) -> Token:
         tok = self._tokens[self._pos]
@@ -586,15 +595,21 @@ class Parser:
         return cond
 
     def _parse_binary(self, tier: int) -> ast.Expr:
-        if tier >= len(_BINARY_TIERS):
-            return self._parse_power()
-        lhs = self._parse_binary(tier + 1)
-        ops = _BINARY_TIERS[tier]
-        while self._peek().kind is TokenKind.OP and self._peek().text in ops:
-            op = self._advance().text
-            rhs = self._parse_binary(tier + 1)
-            lhs = ast.Binary(line=lhs.line, op=op, lhs=lhs, rhs=rhs)
-        return lhs
+        # Precedence climbing: equivalent to the straightforward
+        # one-method-per-tier cascade (left-associative within a tier,
+        # higher tiers bind tighter) but recurses only where an operator
+        # actually appears instead of through every tier per operand.
+        lhs = self._parse_power()
+        while True:
+            tok = self._tokens[self._pos]
+            if tok.kind is not TokenKind.OP:
+                return lhs
+            op_tier = _BINARY_OP_TIER.get(tok.text)
+            if op_tier is None or op_tier < tier:
+                return lhs
+            self._pos += 1
+            rhs = self._parse_binary(op_tier + 1)
+            lhs = ast.Binary(line=lhs.line, op=tok.text, lhs=lhs, rhs=rhs)
 
     def _parse_power(self) -> ast.Expr:
         base = self._parse_unary()

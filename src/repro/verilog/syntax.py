@@ -16,7 +16,8 @@ from typing import List
 
 from repro.errors import LexError, ParseError
 from repro.verilog import ast
-from repro.verilog.parser import parse_source
+from repro.verilog.lexer import lex
+from repro.verilog.parser import Parser
 
 
 @dataclass
@@ -67,13 +68,16 @@ def _semantic_lint(source_file: ast.SourceFile) -> List[str]:
     return errors
 
 
-def check_syntax(source: str) -> SyntaxReport:
-    """Check whether ``source`` is well-formed under the supported subset.
+def check_with_lexer(source: str, lexer) -> SyntaxReport:
+    """The full verdict pipeline over any token source.
 
-    Returns a :class:`SyntaxReport`; never raises for malformed input.
+    ``lexer`` maps source text to a token list (the reference
+    :func:`repro.verilog.lexer.lex` or the engine's accelerated
+    ``lex_fast``); everything downstream — parse, error capture, lint —
+    is shared so the two entry points cannot drift apart.
     """
     try:
-        source_file = parse_source(source)
+        source_file = Parser(lexer(source)).parse_source()
     except (LexError, ParseError) as exc:
         return SyntaxReport(ok=False, errors=[str(exc)])
     errors = _semantic_lint(source_file)
@@ -82,3 +86,11 @@ def check_syntax(source: str) -> SyntaxReport:
         errors=errors,
         module_names=[m.name for m in source_file.modules],
     )
+
+
+def check_syntax(source: str) -> SyntaxReport:
+    """Check whether ``source`` is well-formed under the supported subset.
+
+    Returns a :class:`SyntaxReport`; never raises for malformed input.
+    """
+    return check_with_lexer(source, lex)

@@ -8,6 +8,7 @@ from repro.curation import (
     CopyrightFilter,
     CurationConfig,
     CurationPipeline,
+    FunnelReport,
     LicenseFilter,
 )
 from repro.curation.copyright_filter import extract_comment_text
@@ -127,6 +128,51 @@ class TestCopyrightFilter:
                         false_positives += 1
         assert checked > 0
         assert false_positives == 0
+
+
+class TestFunnelReportEdges:
+    def test_negative_in_count_rejected(self):
+        with pytest.raises(ValueError):
+            FunnelReport().record("weird", -1, -2)
+
+    def test_negative_out_count_rejected(self):
+        with pytest.raises(ValueError):
+            FunnelReport().record("weird", 5, -1)
+
+    def test_growth_rejected(self):
+        with pytest.raises(ValueError):
+            FunnelReport().record("grew", 3, 4)
+
+    def test_zero_counts_allowed(self):
+        report = FunnelReport()
+        stage = report.record("empty", 0, 0)
+        assert stage.removal_fraction == 0.0
+        assert report.final_count == 0
+
+    def test_to_text_long_stage_names_stay_aligned(self):
+        report = FunnelReport()
+        report.record("short", 10, 5)
+        long_name = "extremely_long_experimental_stage_name"
+        report.record(long_name, 5, 5)
+        lines = report.to_text().splitlines()
+        # all rows share one width and columns still parse as numbers
+        assert len({len(line) for line in lines}) == 1
+        assert lines[2].startswith(long_name)
+        assert lines[2].split()[1:] == ["5", "5", "0", "0.000"]
+
+    def test_to_text_default_layout_unchanged(self):
+        report = FunnelReport()
+        report.record("extracted", 100, 100)
+        report.record("license_filter", 100, 50)
+        header = report.to_text().splitlines()[0]
+        assert header.startswith("stage")
+        assert header.index("in") == 30  # the seed's 22 + 10-wide layout
+
+    def test_empty_report(self):
+        report = FunnelReport()
+        assert report.initial_count == 0
+        assert report.final_count == 0
+        assert report.stage("anything") is None
 
 
 class TestPipeline:

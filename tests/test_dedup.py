@@ -181,3 +181,74 @@ class TestDeduplicate:
         text_a = "module a(input x, output y); assign y = x; endmodule " * 3
         result = deduplicate([("a", text_a), ("b", text_a), ("c", text_a + "wire z;")])
         assert 0 < result.removal_fraction < 1
+
+    def test_attribution_prefers_first_inserted_match(self):
+        base = "module m(input a, output y); assign y = a ^ 1; endmodule " * 4
+        result = deduplicate(
+            [("first", base), ("probe", base), ("later", base)]
+        )
+        assert result.kept_keys == ["first"]
+        assert result.removed == {"probe": "first", "later": "first"}
+
+    def test_candidates_in_order_ignores_key_hash_order(self):
+        """Multiple colliding candidates come back in insertion order, not
+        in the hash-set order ``candidates()`` exposes."""
+        hasher = MinHasher()
+        bands, rows = choose_bands(hasher.num_permutations, 0.85)
+        index = LSHIndex(bands, rows)
+        signature = hasher.signature("module m; endmodule " * 4)
+        keys = [f"repo-{i}:file.v" for i in (9, 2, 7, 0, 5)]
+        for key in keys:
+            index.insert(key, signature)
+        assert index.candidates_in_order(signature) == keys
+        assert index.candidates(signature) == set(keys)
+
+
+class TestDedupDeterminism:
+    """Dedup results must not depend on ``PYTHONHASHSEED``.
+
+    String keys hash differently per interpreter run, so any set-ordered
+    candidate scan leaks hash ordering into the ``removed`` attribution.
+    The scan is insertion-ordered; results across hash seeds must agree.
+    """
+
+    _PROGRAM = """
+import json, sys
+from repro.dedup import deduplicate
+from repro.utils.rng import DeterministicRNG
+from repro.vgen import generate as generate_module
+
+rng = DeterministicRNG(0xD5EED)
+modules = [generate_module(rng.fork(i)).source for i in range(40)]
+items = []
+for i, text in enumerate(modules):
+    items.append((f"repo-{i}:mod.v", text))
+    if i % 3 == 0:
+        items.append((f"repo-{i}:copy.v", "// fork\\n" + text))
+result = deduplicate(items)
+print(json.dumps({
+    "kept": result.kept_keys,
+    "removed": sorted(result.removed.items()),
+}))
+"""
+
+    def _run_with_hash_seed(self, seed):
+        import json
+        import os
+        import subprocess
+        import sys
+
+        env = dict(os.environ, PYTHONHASHSEED=str(seed))
+        output = subprocess.run(
+            [sys.executable, "-c", self._PROGRAM],
+            capture_output=True,
+            text=True,
+            env=env,
+            check=True,
+        ).stdout
+        return json.loads(output)
+
+    def test_stable_across_hash_seeds(self):
+        results = [self._run_with_hash_seed(seed) for seed in (0, 1, 31337)]
+        assert results[0] == results[1] == results[2]
+        assert results[0]["removed"]  # the corpus does contain duplicates
