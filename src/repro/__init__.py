@@ -24,7 +24,19 @@ depends on:
   is a literal count-table merge, reproducing both memorization (the
   copyright benchmark) and domain competence (VerilogEval pass@k);
 * the copyright-infringement benchmark and a mini-VerilogEval with the
-  unbiased pass@k estimator;
+  unbiased pass@k estimator — both executed through
+  :mod:`repro.evalkit`, the engine-backed evaluation layer: an
+  :class:`~repro.evalkit.EvalPlan` (models x tasks x protocol params)
+  compiles to a :class:`~repro.engine.StageGraph` of sample-level work
+  units (seed/prompt expansion, generation, pooled functional/similarity
+  checking with an order-preserving merge, aggregation), producing typed
+  :class:`~repro.evalkit.RunResult` records with per-sample provenance,
+  resuming killed sweeps from :class:`~repro.engine.CheckpointStore`
+  snapshots, and sharing the problem set and similarity index across the
+  models of a multi-model plan.  ``evaluate_model``,
+  ``CopyrightBenchmark.evaluate``, ``FreeVTrainer.headline``, and
+  ``ModelZoo.evaluate`` are facades over it with numerically identical
+  output;
 * policy simulations of the prior works compared in Tables I/II and
   Figure 3.
 
@@ -53,6 +65,14 @@ from repro.curation import (
     IncrementalCurator,
 )
 from repro.copyright import CopyrightBenchmark, collect_copyrighted_corpus
+from repro.evalkit import (
+    CopyrightTask,
+    EvalPlan,
+    EvalTask,
+    PassAtKTask,
+    RunResult,
+    SampleRecord,
+)
 from repro.github import WorldConfig, generate_world
 from repro.llm import GenerationConfig, LanguageModel
 from repro.vereval import EvalConfig, build_problem_set, evaluate_model, pass_at_k
@@ -75,6 +95,12 @@ __all__ = [
     "IncrementalCurator",
     "CopyrightBenchmark",
     "collect_copyrighted_corpus",
+    "CopyrightTask",
+    "EvalPlan",
+    "EvalTask",
+    "PassAtKTask",
+    "RunResult",
+    "SampleRecord",
     "WorldConfig",
     "generate_world",
     "GenerationConfig",

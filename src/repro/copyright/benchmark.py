@@ -6,9 +6,8 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 from repro.copyright.corpus import CopyrightedCorpus
-from repro.copyright.prompts import PromptSpec, build_prompt
+from repro.copyright.prompts import PromptSpec
 from repro.llm.model import LanguageModel
-from repro.llm.sampler import GenerationConfig
 from repro.textsim import SimilarityIndex
 from repro.utils.rng import DeterministicRNG
 
@@ -86,36 +85,30 @@ class CopyrightBenchmark:
         temperature: float = 0.2,
         max_new_tokens: int = 512,
         seed: int = 0,
+        executor=None,
+        store=None,
+        checkpoint_tag: str = "copyright",
     ) -> ViolationReport:
         """Run all prompts through ``model`` and score completions.
 
         The scored text is prompt + completion: the benchmark asks whether
         the model *reproduces the protected file*, and the prompt is part
         of that file by construction.
+
+        A facade over :class:`repro.evalkit.EvalPlan`: generation and
+        similarity lookups stream through the engine (optionally fanned
+        across a process pool via ``executor``, optionally checkpointed
+        through ``store``) with results identical to the seed-era serial
+        loop — same prompts, same per-(key, position) seed forks.
         """
-        report = ViolationReport(model_name=model.name, threshold=self.threshold)
-        config = GenerationConfig(
+        from repro.evalkit import CopyrightTask, EvalPlan
+
+        task = CopyrightTask(
+            self,
             temperature=temperature,
             max_new_tokens=max_new_tokens,
-            stop_strings=("endmodule",),
+            seed=seed,
         )
-        for i, key in enumerate(self.prompt_keys):
-            prompt = build_prompt(self.corpus.text(key), self.prompt_spec)
-            if not prompt:
-                continue
-            completion = model.generate(
-                prompt, config, seed=DeterministicRNG(seed).fork(key, i).seed
-            )
-            match = self.index.best_match(prompt + completion)
-            similarity = match.score if match else 0.0
-            report.results.append(
-                PromptResult(
-                    source_key=key,
-                    prompt=prompt,
-                    completion=completion,
-                    best_match_key=match.key if match else None,
-                    similarity=similarity,
-                    violation=similarity >= self.threshold,
-                )
-            )
-        return report
+        plan = EvalPlan([model], [task], executor=executor)
+        run = plan.run(store=store, tag=checkpoint_tag)
+        return run.result(model.name, task.task_id)

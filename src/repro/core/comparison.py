@@ -344,6 +344,30 @@ class ModelZoo:
         """Free a cached model (benchmarks build many large models)."""
         self._cache.pop(name, None)
 
+    def evaluate(
+        self,
+        names: Sequence[str],
+        tasks: Sequence,
+        executor=None,
+        store=None,
+        tag: str = "zoo",
+    ):
+        """Evaluate several zoo models through one shared evalkit plan.
+
+        The Table II / Fig. 3 sweep shape: every model in ``names`` runs
+        every :class:`repro.evalkit.EvalTask` in ``tasks``, sharing the
+        problem set and the copyright similarity index across models
+        instead of rebuilding them per model.  Returns the
+        :class:`repro.evalkit.RunResult`; per-model aggregates come back
+        via ``run.result(name, task_id)``.  ``store`` makes the sweep
+        resumable; ``executor`` fans samples across a process pool.
+        """
+        from repro.evalkit import EvalPlan
+
+        models = [self.model(name) for name in names]
+        plan = EvalPlan(models, list(tasks), executor=executor)
+        return plan.run(store=store, tag=tag)
+
     def _build_foundation(self, spec: ModelSpec) -> LanguageModel:
         rng = DeterministicRNG(self._seed).fork("slice", spec.name)
         slice_count = min(spec.verilog_files, len(self._public_texts))

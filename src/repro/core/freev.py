@@ -22,7 +22,7 @@ from repro.core.basecorpus import BaseCorpusConfig, build_base_corpus
 from repro.core.freeset import FreeSetBuilder, FreeSetResult
 from repro.llm import LanguageModel
 from repro.utils.rng import DeterministicRNG
-from repro.vereval import EvalConfig, EvalResult, build_problem_set, evaluate_model
+from repro.vereval import EvalConfig, EvalResult, build_problem_set
 
 
 @dataclass
@@ -37,7 +37,11 @@ class HeadlineReport:
     def passk_delta(self) -> Dict[int, float]:
         base = self.base_eval.best()
         tuned = self.freev_eval.best()
-        return {k: tuned[k] - base[k] for k in base}
+        # Only ks both evals report: base and tuned runs made with
+        # different ``ks`` used to raise KeyError here.
+        return {
+            k: tuned[k] - base[k] for k in sorted(set(base) & set(tuned))
+        }
 
     def summary(self) -> str:
         delta = self.passk_delta()
@@ -140,22 +144,39 @@ class FreeVTrainer:
         eval_config: Optional[EvalConfig] = None,
         num_prompts: int = 100,
         seed: int = 0,
+        executor=None,
+        store=None,
+        checkpoint_tag: str = "headline",
     ) -> HeadlineReport:
-        """Run the joint evaluation behind the paper's abstract."""
+        """Run the joint evaluation behind the paper's abstract.
+
+        One :class:`repro.evalkit.EvalPlan` covers both models and both
+        benchmarks, so the problem set and the copyright similarity index
+        are built once and shared; numbers are identical to evaluating
+        each (model, benchmark) pair serially.  ``executor`` fans the
+        sample stream across a process pool; ``store`` makes the sweep
+        resumable under ``checkpoint_tag``.
+        """
+        from repro.evalkit import CopyrightTask, EvalPlan, PassAtKTask
+
         problems = build_problem_set(n_problems=n_problems)
         config = eval_config or EvalConfig()
         base = self.base_model()
         freev = self.train()
-        base_eval = evaluate_model(base, problems, config)
-        freev_eval = evaluate_model(freev, problems, config)
         benchmark = CopyrightBenchmark(
             self.copyrighted_corpus, num_prompts=num_prompts
         )
-        base_violations = benchmark.evaluate(base, seed=seed)
-        freev_violations = benchmark.evaluate(freev, seed=seed)
+        passk = PassAtKTask(problems, config)
+        copyright_task = CopyrightTask(benchmark, seed=seed)
+        plan = EvalPlan([base, freev], [passk, copyright_task], executor=executor)
+        run = plan.run(store=store, tag=checkpoint_tag)
         return HeadlineReport(
-            base_eval=base_eval,
-            freev_eval=freev_eval,
-            base_violation_rate=base_violations.violation_rate,
-            freev_violation_rate=freev_violations.violation_rate,
+            base_eval=run.result(base.name, passk.task_id),
+            freev_eval=run.result(freev.name, passk.task_id),
+            base_violation_rate=run.result(
+                base.name, copyright_task.task_id
+            ).violation_rate,
+            freev_violation_rate=run.result(
+                freev.name, copyright_task.task_id
+            ).violation_rate,
         )

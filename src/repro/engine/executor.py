@@ -76,6 +76,12 @@ class ParallelExecutor:
         self.workers = workers if workers > 0 else (os.cpu_count() or 1)
         self.window = window if window > 0 else 2 * self.workers
         self._pool = None
+        #: last fused-stage list and its pickle, so checkpointed runs
+        #: (one map_chunks call per block) serialize heavy stage payloads
+        #: once per run instead of once per block; holding the stage
+        #: references keeps the identity comparison sound
+        self._blob_stages: list = []
+        self._blob: bytes = b""
 
     def _ensure_pool(self):
         if self._pool is None:
@@ -88,9 +94,16 @@ class ParallelExecutor:
         self, stages: Sequence, chunks: Iterable[Sequence[Any]]
     ) -> Iterator[ChunkResult]:
         pool = self._ensure_pool()
-        # Serialize the fused stage list once per phase; workers cache the
-        # deserialized stages, so per-chunk payloads are data only.
-        stage_blob = pickle.dumps(list(stages), protocol=pickle.HIGHEST_PROTOCOL)
+        # Serialize the fused stage list once per phase (reused across
+        # calls while the same stage objects are passed); workers cache
+        # the deserialized stages, so per-chunk payloads are data only.
+        stages = list(stages)
+        if len(stages) != len(self._blob_stages) or any(
+            a is not b for a, b in zip(stages, self._blob_stages)
+        ):
+            self._blob_stages = stages
+            self._blob = pickle.dumps(stages, protocol=pickle.HIGHEST_PROTOCOL)
+        stage_blob = self._blob
         pending: deque = deque()
         iterator = iter(chunks)
         exhausted = False
@@ -112,6 +125,8 @@ class ParallelExecutor:
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        self._blob_stages = []
+        self._blob = b""
 
     def __enter__(self) -> "ParallelExecutor":
         return self
@@ -121,9 +136,11 @@ class ParallelExecutor:
 
     def __getstate__(self):
         # Checkpoints may pickle objects holding an executor; the pool
-        # itself is process-local and recreated lazily on demand.
+        # and the blob cache are process-local and rebuilt on demand.
         state = self.__dict__.copy()
         state["_pool"] = None
+        state["_blob_stages"] = []
+        state["_blob"] = b""
         return state
 
 

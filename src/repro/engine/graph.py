@@ -141,12 +141,15 @@ class StageGraph:
 
     # -- checkpointing ----------------------------------------------------
 
-    def checkpoint_state(self) -> dict:
+    def checkpoint_state(self, exclude: Sequence[str] = ()) -> dict:
         """Picklable snapshot: progress counters, metrics, stage state.
 
         Callers holding extra state of their own should embed this dict
         in a single :meth:`CheckpointStore.save` so the whole snapshot
-        stays atomic.
+        stays atomic.  Stages named in ``exclude`` snapshot as None —
+        for callers that persist that state through their own channel
+        (e.g. append-only record segments) and would otherwise pay for a
+        full copy per checkpoint.
         """
         return {
             "items_in": self.items_in,
@@ -155,7 +158,10 @@ class StageGraph:
                 for m in self.metrics
             ],
             "stages": {
-                stage.name: stage.state_dict() for stage in self.stages
+                stage.name: (
+                    None if stage.name in exclude else stage.state_dict()
+                )
+                for stage in self.stages
             },
         }
 

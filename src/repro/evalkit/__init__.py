@@ -1,0 +1,62 @@
+"""repro.evalkit — unified, engine-backed model evaluation.
+
+The paper's headline numbers are all *evaluation* outputs: Table II
+pass@k, Fig. 3 violation rates, the abstract's joint claim.  This
+package turns those protocols into one declarative API on top of
+:mod:`repro.engine`:
+
+* an :class:`EvalTask` protocol with two implementations —
+  :class:`PassAtKTask` (mini-VerilogEval functional correctness) and
+  :class:`CopyrightTask` (the infringement benchmark);
+* an :class:`EvalPlan` (models x tasks x protocol params) that compiles
+  into a :class:`~repro.engine.StageGraph` of sample-level work units:
+  seed/prompt expansion, generation, pooled checking with an
+  order-preserving merge, and aggregation into typed
+  :class:`RunResult` records with per-sample provenance and JSON export;
+* checkpointed execution through
+  :class:`~repro.engine.CheckpointStore`, so a killed pass@k sweep
+  resumes mid-problem and finishes with the identical result.
+
+``repro.vereval.evaluate_model``, ``CopyrightBenchmark.evaluate``,
+``FreeVTrainer.headline``, and ``ModelZoo.evaluate`` are facades over
+this package; all reproduce the seed-era serial harnesses number for
+number (same :class:`~repro.utils.rng.DeterministicRNG` fork chain per
+sample).
+"""
+
+from repro.evalkit.records import RunResult, SampleRecord
+from repro.evalkit.stages import (
+    AggregateStage,
+    CheckStage,
+    ExpandStage,
+    GenerationStage,
+)
+from repro.evalkit.tasks import (
+    CopyrightChecker,
+    CopyrightTask,
+    EvalTask,
+    PassAtKChecker,
+    PassAtKTask,
+)
+from repro.evalkit.plan import (
+    DEFAULT_CHECKPOINT_EVERY,
+    DEFAULT_EVAL_CHUNK_SIZE,
+    EvalPlan,
+)
+
+__all__ = [
+    "RunResult",
+    "SampleRecord",
+    "AggregateStage",
+    "CheckStage",
+    "ExpandStage",
+    "GenerationStage",
+    "CopyrightChecker",
+    "CopyrightTask",
+    "EvalTask",
+    "PassAtKChecker",
+    "PassAtKTask",
+    "DEFAULT_CHECKPOINT_EVERY",
+    "DEFAULT_EVAL_CHUNK_SIZE",
+    "EvalPlan",
+]

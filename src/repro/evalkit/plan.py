@@ -1,0 +1,232 @@
+"""EvalPlan: models x tasks, compiled to the execution engine.
+
+Exactly like :class:`repro.curation.CurationPipeline` on the curation
+side, a plan is *data*: it declares which models run which tasks under
+which protocol, compiles that into a registry-built
+:class:`~repro.engine.StageGraph`, and streams sample-level work units
+through it.  Because samples are independent, the whole plan — every
+model, every task, every temperature — is one flat stream: generation
+and checking fan across the process pool; a multi-model plan shares the
+problem set and the copyright similarity index across models instead of
+rebuilding them per model.
+
+Runs checkpoint through :class:`~repro.engine.CheckpointStore`: the
+snapshot carries the engine's progress counter plus every checked record,
+so a killed sweep resumes mid-problem and completes with a
+:class:`~repro.evalkit.RunResult` identical to an uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from itertools import islice
+from typing import Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.engine import CheckpointStore, StageGraph, build_stages, iter_chunks
+from repro.errors import EvaluationError
+from repro.llm.model import LanguageModel
+from repro.evalkit.records import RunResult, SampleRecord
+from repro.evalkit.stages import AggregateStage
+from repro.evalkit.tasks import EvalTask
+
+#: one work unit is a full generate+simulate sample, so dispatch chunks
+#: are much smaller than curation's (a chunk is the pool's unit of work)
+DEFAULT_EVAL_CHUNK_SIZE = 8
+
+#: specs between checkpoint writes when a store is attached
+DEFAULT_CHECKPOINT_EVERY = 64
+
+
+def _segment_key(tag: str, index: int) -> str:
+    return f"{tag}-seg{index:05d}"
+
+
+class EvalPlan:
+    """A declarative evaluation run: models x tasks x protocol params."""
+
+    def __init__(
+        self,
+        models: Sequence[LanguageModel],
+        tasks: Sequence[EvalTask],
+        chunk_size: Optional[int] = None,
+        executor=None,
+    ) -> None:
+        if not models:
+            raise ValueError("EvalPlan needs at least one model")
+        if not tasks:
+            raise ValueError("EvalPlan needs at least one task")
+        names = [m.name for m in models]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate model names: {names}")
+        ids = [t.task_id for t in tasks]
+        if len(set(ids)) != len(ids):
+            raise ValueError(f"duplicate task ids: {ids}")
+        self.models = list(models)
+        self.tasks = list(tasks)
+        self.chunk_size = (
+            chunk_size if chunk_size is not None else DEFAULT_EVAL_CHUNK_SIZE
+        )
+        self.executor = executor
+
+    # -- compilation --------------------------------------------------------
+
+    def stage_specs(self) -> List[Tuple[str, Mapping]]:
+        """The declarative stage list this plan compiles to."""
+        return [
+            ("eval_expand", {"tasks": {t.task_id: t for t in self.tasks}}),
+            ("eval_generate", {"models": {m.name: m for m in self.models}}),
+            (
+                "eval_check",
+                {"checkers": {t.task_id: t.checker() for t in self.tasks}},
+            ),
+            ("eval_aggregate", {}),
+        ]
+
+    def compile(self) -> StageGraph:
+        """Build the engine :class:`StageGraph` for this plan."""
+        return StageGraph(
+            build_stages(self.stage_specs()),
+            chunk_size=self.chunk_size,
+            executor=self.executor,
+        )
+
+    # -- the spec stream ----------------------------------------------------
+
+    def specs(self) -> Iterator[SampleRecord]:
+        """Every sample spec of the plan, in canonical stream order."""
+        for model in self.models:
+            for task in self.tasks:
+                yield from task.specs(model.name)
+
+    def total_specs(self) -> int:
+        return sum(
+            task.spec_count(model.name)
+            for model in self.models
+            for task in self.tasks
+        )
+
+    def fingerprint(self) -> str:
+        """Identity of the plan's sample stream, guarding resume mismatches.
+
+        Covers the models (name plus training-scale descriptors — a
+        retrained same-name model almost surely differs in these) and
+        each task's :meth:`~EvalTask.protocol_fingerprint`, so a
+        checkpoint cannot silently resume under a changed protocol even
+        when the spec *count* happens to match.
+        """
+        digest = hashlib.sha256()
+        for model in self.models:
+            counts = getattr(model, "counts", None)
+            descriptor = (
+                model.name,
+                getattr(counts, "tokens_trained", None),
+                getattr(counts, "pair_count", None),
+            )
+            digest.update(repr(descriptor).encode("utf-8"))
+        for task in self.tasks:
+            digest.update(task.protocol_fingerprint().encode("utf-8"))
+            for model in self.models:
+                digest.update(str(task.spec_count(model.name)).encode("utf-8"))
+        return digest.hexdigest()[:16]
+
+    # -- execution ----------------------------------------------------------
+
+    def run(
+        self,
+        store: Optional[CheckpointStore] = None,
+        tag: str = "evalkit",
+        checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
+    ) -> RunResult:
+        """Execute the plan, resuming from ``store``/``tag`` if a snapshot
+        exists; a completed snapshot just replays its result."""
+        if checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+        graph = self.compile()
+        sink = graph.stages[-1]
+        assert isinstance(sink, AggregateStage)
+        fingerprint = self.fingerprint()
+        done = 0
+        segments = 0
+        if store is not None:
+            head = store.load(tag)
+            if head is not None:
+                if head.get("fingerprint") != fingerprint:
+                    raise EvaluationError(
+                        f"checkpoint {tag!r} belongs to a different plan "
+                        "(models/tasks/protocol changed); delete it or use "
+                        "another tag"
+                    )
+                # Records are checkpointed as append-only segments (one
+                # per completed block) so each save pickles O(block), not
+                # the whole history; the head holds counters + metrics.
+                segments = head["segments"]
+                engine_state = head["engine"]
+                records = []
+                for index in range(segments):
+                    segment = store.load(_segment_key(tag, index))
+                    if segment is None:
+                        raise EvaluationError(
+                            f"checkpoint {tag!r} is missing segment "
+                            f"{index} of {segments}; delete the tag and "
+                            "restart the run"
+                        )
+                    records.extend(segment)
+                engine_state["stages"][sink.name] = records
+                graph.restore_state(engine_state)
+                done = graph.items_in
+        stream: Iterator[SampleRecord] = self.specs()
+        if done:
+            stream = islice(stream, done, None)
+        if store is None:
+            graph.ingest(stream)
+        else:
+            for block in iter_chunks(stream, checkpoint_every):
+                collected = len(sink.records)
+                graph.ingest(block)
+                # Segment first, then the head that references it: a
+                # crash between the two leaves an orphan segment the old
+                # head ignores, never a head pointing at missing data.
+                store.save(
+                    _segment_key(tag, segments), sink.records[collected:]
+                )
+                segments += 1
+                engine_state = graph.checkpoint_state(exclude=(sink.name,))
+                store.save(
+                    tag,
+                    {
+                        "fingerprint": fingerprint,
+                        "engine": engine_state,
+                        "segments": segments,
+                    },
+                )
+        if graph.items_in != self.total_specs():
+            raise EvaluationError(
+                f"plan consumed {graph.items_in} specs, expected "
+                f"{self.total_specs()} — corrupt checkpoint?"
+            )
+        return self._collect(graph)
+
+    def _collect(self, graph: StageGraph) -> RunResult:
+        sink = graph.stages[-1]
+        assert isinstance(sink, AggregateStage)
+        records = list(sink.records)
+        grouped = {}
+        for record in records:
+            key = (record.model_name, record.task_id)
+            grouped.setdefault(key, []).append(record)
+        run = RunResult(
+            model_names=[m.name for m in self.models],
+            task_ids=[t.task_id for t in self.tasks],
+            records=records,
+            engine_report=graph.to_text(),
+        )
+        for model in self.models:
+            for task in self.tasks:
+                result = task.aggregate(
+                    model.name, grouped.get((model.name, task.task_id), [])
+                )
+                run.results[(model.name, task.task_id)] = result
+                run.aggregates.setdefault(model.name, {})[task.task_id] = (
+                    task.result_json(result)
+                )
+        return run

@@ -1,0 +1,106 @@
+"""Typed work units and run results for the evaluation engine.
+
+One :class:`SampleRecord` flows through the whole stage graph: the plan
+emits it bare (task/model/unit/sample coordinates only), the expansion
+stage fills prompt and seed, the generation stage fills the completion,
+the checking stage fills the verdict fields, and the aggregation stage
+collects it.  A finished run is a :class:`RunResult`: every record (the
+per-sample provenance behind Table II and Fig. 3) plus the per-(model,
+task) aggregate objects and a JSON export.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+
+@dataclass
+class SampleRecord:
+    """One evaluation sample with full provenance.
+
+    ``unit_id``/``unit_index`` name the problem (pass@k) or the
+    copyrighted source file (copyright benchmark); ``sample_index`` is
+    the draw number within the unit.  Verdict fields not used by a task
+    keep their defaults (e.g. ``similarity`` stays 0.0 for pass@k).
+    """
+
+    task_id: str
+    model_name: str
+    unit_id: str
+    unit_index: int
+    sample_index: int
+    temperature: float
+    max_new_tokens: int
+    seed: int = 0
+    prompt: str = ""
+    completion: str = ""
+    passed: bool = False
+    failure_reason: str = ""
+    similarity: float = 0.0
+    best_match_key: Optional[str] = None
+    violation: bool = False
+
+    def to_dict(self, include_text: bool = True) -> Dict[str, Any]:
+        data = dataclasses.asdict(self)
+        if not include_text:
+            data.pop("prompt")
+            data.pop("completion")
+        return data
+
+
+@dataclass
+class RunResult:
+    """Everything one :class:`~repro.evalkit.EvalPlan` run produced.
+
+    ``records`` preserves stream order (models x tasks x units x
+    samples); ``results`` maps ``(model_name, task_id)`` to the task's
+    aggregate object (:class:`~repro.vereval.EvalResult` for pass@k,
+    :class:`~repro.copyright.ViolationReport` for the copyright
+    benchmark); ``aggregates`` carries the same numbers as plain dicts
+    for serialization.
+    """
+
+    model_names: List[str] = field(default_factory=list)
+    task_ids: List[str] = field(default_factory=list)
+    records: List[SampleRecord] = field(default_factory=list)
+    results: Dict[Tuple[str, str], Any] = field(default_factory=dict)
+    aggregates: Dict[str, Dict[str, Dict[str, Any]]] = field(
+        default_factory=dict
+    )
+    engine_report: str = ""
+
+    def result(self, model_name: str, task_id: str) -> Any:
+        try:
+            return self.results[(model_name, task_id)]
+        except KeyError:
+            known = sorted(self.results)
+            raise KeyError(
+                f"no result for ({model_name!r}, {task_id!r}); ran: {known}"
+            ) from None
+
+    def samples(
+        self, model_name: Optional[str] = None, task_id: Optional[str] = None
+    ) -> List[SampleRecord]:
+        """Records filtered by model and/or task, in stream order."""
+        return [
+            r
+            for r in self.records
+            if (model_name is None or r.model_name == model_name)
+            and (task_id is None or r.task_id == task_id)
+        ]
+
+    def seeds(self, model_name: str, task_id: str) -> List[int]:
+        """Per-sample generation seeds, the provenance identity check."""
+        return [r.seed for r in self.samples(model_name, task_id)]
+
+    def to_json(self, include_text: bool = True, indent: int = 2) -> str:
+        payload = {
+            "models": self.model_names,
+            "tasks": self.task_ids,
+            "aggregates": self.aggregates,
+            "samples": [r.to_dict(include_text) for r in self.records],
+        }
+        return json.dumps(payload, indent=indent)

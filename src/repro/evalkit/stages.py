@@ -1,0 +1,147 @@
+"""The four engine stages an :class:`~repro.evalkit.EvalPlan` compiles to.
+
+Stream shape::
+
+    specs -> eval_expand -> eval_generate -> eval_check -> eval_aggregate
+
+``eval_expand`` runs inline (it needs the task tables and is trivial);
+``eval_generate`` and ``eval_check`` are parallel-safe pure functions of
+the record, so the graph fuses them into one pooled phase with the
+engine's order-preserving merge; ``eval_aggregate`` is the stateful sink
+whose state — every checked record so far — is exactly what a
+checkpoint needs to resume a killed run mid-problem.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Sequence
+
+from repro.engine import MapStage, Stage, StatefulStage, register_stage
+from repro.evalkit.records import SampleRecord
+from repro.llm.model import LanguageModel
+from repro.llm.sampler import GenerationConfig
+
+
+@register_stage("eval_expand")
+class ExpandStage(Stage):
+    """Fill prompt and fork seed per spec; drop samples the task skips."""
+
+    name = "eval_expand"
+    # Inline: needs the task tables (problem sets, corpora) and is cheap,
+    # so shipping them to workers for this stage would be pure overhead.
+    parallel_safe = False
+
+    def __init__(self, tasks: Mapping[str, Any]) -> None:
+        self.tasks = dict(tasks)
+
+    def process(self, chunk: Sequence[SampleRecord]) -> List[SampleRecord]:
+        out: List[SampleRecord] = []
+        for record in chunk:
+            expanded = self.tasks[record.task_id].expand(record)
+            if expanded is not None:
+                out.append(expanded)
+        return out
+
+
+@register_stage("eval_generate")
+class GenerationStage(MapStage):
+    """Sample one completion per record at the record's seed.
+
+    Pure given the record (n-gram decoding is deterministic per seed), so
+    it is parallel-safe and fuses with checking; the executor ships the
+    model table once per phase and workers cache the deserialized stages.
+    """
+
+    name = "eval_generate"
+    parallel_safe = True
+
+    def __init__(self, models: Mapping[str, LanguageModel]) -> None:
+        self.models = dict(models)
+        self._configs: Dict[Any, GenerationConfig] = {}
+        #: encoded-prompt cache: the pass@k protocol samples every prompt
+        #: n_samples x len(temperatures) times, the serial loop re-encoded
+        #: it each time (worker-local; not part of the pickled stage)
+        self._prompt_tokens: Dict[Any, List[int]] = {}
+
+    def _config(self, record: SampleRecord) -> GenerationConfig:
+        # Hoisted out of the sample loop: one config per protocol point
+        # rather than one per generated sample.
+        key = (record.temperature, record.max_new_tokens)
+        config = self._configs.get(key)
+        if config is None:
+            config = GenerationConfig(
+                temperature=record.temperature,
+                max_new_tokens=record.max_new_tokens,
+                stop_strings=("endmodule",),
+            )
+            self._configs[key] = config
+        return config
+
+    def map_item(self, record: SampleRecord) -> SampleRecord:
+        model = self.models[record.model_name]
+        # Keyed by the prompt text itself (tasks share one string object
+        # per unit, so hashing is cheap): a task whose prompt varies per
+        # sample must never see another sample's tokens.
+        key = (record.model_name, record.prompt)
+        tokens = self._prompt_tokens.get(key)
+        if tokens is None:
+            if len(self._prompt_tokens) >= 4096:
+                self._prompt_tokens.clear()
+            tokens = model.encode_prompt(record.prompt)
+            self._prompt_tokens[key] = tokens
+        record.completion = model.generate(
+            record.prompt,
+            self._config(record),
+            seed=record.seed,
+            prompt_tokens=tokens,
+        )
+        return record
+
+    def __getstate__(self):
+        # Worker processes rebuild their own caches; shipping them would
+        # bloat the per-phase stage payload.
+        state = self.__dict__.copy()
+        state["_prompt_tokens"] = {}
+        return state
+
+
+@register_stage("eval_check")
+class CheckStage(MapStage):
+    """Score each completion via its task's checker (the hot stage)."""
+
+    name = "eval_check"
+    parallel_safe = True
+
+    def __init__(self, checkers: Mapping[str, Any]) -> None:
+        self.checkers = dict(checkers)
+
+    def map_item(self, record: SampleRecord) -> SampleRecord:
+        return self.checkers[record.task_id].check(record)
+
+
+@register_stage("eval_aggregate")
+class AggregateStage(StatefulStage):
+    """Order-preserving sink collecting every checked record.
+
+    Its ``state_dict`` is the run's progress payload: restoring it (plus
+    the graph's ``items_in`` counter) resumes an interrupted plan exactly
+    where the last checkpoint left off.
+    """
+
+    name = "eval_aggregate"
+
+    def __init__(self) -> None:
+        self.records: List[SampleRecord] = []
+
+    def reset(self) -> None:
+        self.records = []
+
+    def process(self, chunk: Sequence[SampleRecord]) -> List[SampleRecord]:
+        self.records.extend(chunk)
+        return list(chunk)
+
+    def state_dict(self) -> List[SampleRecord]:
+        return list(self.records)
+
+    def load_state(self, state: List[SampleRecord]) -> None:
+        self.records = list(state)

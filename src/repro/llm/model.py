@@ -106,8 +106,13 @@ class LanguageModel:
         prompt: str,
         config: Optional[GenerationConfig] = None,
         seed: int = 0,
+        prompt_tokens: Optional[Sequence[int]] = None,
     ) -> str:
-        return self._sampler.generate(prompt, config, seed)
+        return self._sampler.generate(prompt, config, seed, prompt_tokens)
+
+    def encode_prompt(self, prompt: str) -> List[int]:
+        """Tokenize a prompt for reuse across many ``generate`` calls."""
+        return self.tokenizer.encode(prompt)
 
     def generate_batch(
         self,

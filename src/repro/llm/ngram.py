@@ -21,6 +21,7 @@ degradation on novel prompts (fall back to generic code statistics).
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -65,11 +66,14 @@ def hash_context(context: Sequence[int], order: int) -> int:
     """Hash the last ``order`` tokens of ``context`` (python-side)."""
     acc = int(_HASH_SEED)
     if order > 0:
-        window = list(context)[-order:]
+        # Slice only the tail: copying the whole context here made every
+        # sampled token O(len(context)) per order — quadratic generation.
+        window = context[-order:]
         if len(window) < order:
             raise ValueError("context shorter than requested order")
+        mult = int(_HASH_MULT)
         for token in window:
-            acc = ((acc * int(_HASH_MULT)) + int(token)) & 0xFFFFFFFFFFFFFFFF
+            acc = ((acc * mult) + int(token)) & 0xFFFFFFFFFFFFFFFF
     return acc
 
 
@@ -81,6 +85,12 @@ class _OrderTable:
     offsets: np.ndarray   # int64, len(keys)+1
     next_tokens: np.ndarray  # int32
     counts: np.ndarray    # float64 (weighted merges)
+    #: lazy python-int mirror of ``keys`` for bisect-based lookups; the
+    #: numpy scalar boxing of per-token ``searchsorted`` calls dominated
+    #: sampling, and generation does one lookup per order per token
+    _keys_list: Optional[List[int]] = field(
+        default=None, repr=False, compare=False
+    )
 
     @classmethod
     def empty(cls) -> "_OrderTable":
@@ -122,13 +132,24 @@ class _OrderTable:
 
     def lookup(self, ctx_hash: int) -> Optional[Tuple[np.ndarray, np.ndarray]]:
         """(next_tokens, counts) for a context hash, or None."""
-        if len(self.keys) == 0:
+        keys = self._keys_list
+        if keys is None:
+            keys = self.keys.tolist()
+            self._keys_list = keys
+        if not keys:
             return None
-        pos = int(np.searchsorted(self.keys, np.uint64(ctx_hash)))
-        if pos >= len(self.keys) or self.keys[pos] != np.uint64(ctx_hash):
+        pos = bisect_left(keys, ctx_hash)
+        if pos >= len(keys) or keys[pos] != ctx_hash:
             return None
         lo, hi = int(self.offsets[pos]), int(self.offsets[pos + 1])
         return self.next_tokens[lo:hi], self.counts[lo:hi]
+
+    def __getstate__(self):
+        # The bisect mirror is derived data; rebuild it per process
+        # instead of doubling the pickled table size.
+        state = self.__dict__.copy()
+        state["_keys_list"] = None
+        return state
 
     def merge(self, other: "_OrderTable", weight: float) -> "_OrderTable":
         """Counts of self plus ``weight`` x counts of other."""

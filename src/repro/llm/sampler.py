@@ -60,23 +60,29 @@ class Sampler:
         prompt: str,
         config: Optional[GenerationConfig] = None,
         seed: int = 0,
+        prompt_tokens: Optional[Sequence[int]] = None,
     ) -> str:
-        """Generate a completion for ``prompt`` (completion text only)."""
+        """Generate a completion for ``prompt`` (completion text only).
+
+        ``prompt_tokens`` optionally supplies the already-encoded prompt
+        (it must equal ``encode(prompt)``); pass@k harnesses sample the
+        same prompt many times and encode it once.
+        """
         config = config or GenerationConfig()
         rng = DeterministicRNG(seed)
-        context = self.tokenizer.encode(prompt)
-        generated: List[int] = []
-        # BPE decoding is a pure byte-table concatenation, so the text can
-        # be built incrementally token by token.
+        if prompt_tokens is None:
+            sequence = self.tokenizer.encode(prompt)
+        else:
+            sequence = list(prompt_tokens)
+        # One growing sequence, extended in place: rebuilding
+        # prompt+generated per sampled token made generation quadratic.
         text_parts: List[str] = []
-        text_len = 0
         max_stop = max((len(s) for s in config.stop_strings), default=0)
         for _ in range(config.max_new_tokens):
-            token = self._sample_token(context + generated, config.temperature, rng)
-            generated.append(token)
+            token = self._sample_token(sequence, config.temperature, rng)
+            sequence.append(token)
             piece = self.tokenizer.decode([token])
             text_parts.append(piece)
-            text_len += len(piece)
             if max_stop:
                 # Only the tail can newly contain a stop string.
                 tail = "".join(text_parts[-(max_stop + len(piece)):])

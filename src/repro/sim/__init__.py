@@ -26,6 +26,7 @@ from repro.sim.testbench import (
     StimulusVector,
     Testbench,
     equivalence_check,
+    interface_signature,
     random_stimulus,
 )
 
@@ -42,5 +43,6 @@ __all__ = [
     "StimulusVector",
     "EquivalenceResult",
     "equivalence_check",
+    "interface_signature",
     "random_stimulus",
 ]

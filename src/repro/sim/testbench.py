@@ -135,11 +135,15 @@ class EquivalenceResult:
         return self.equivalent
 
 
-def _interface_signature(design: Design) -> Dict[str, Dict[str, int]]:
+def interface_signature(design: Design) -> Dict[str, Dict[str, int]]:
+    """Port names and widths, the equality key for interface checks."""
     return {
         "inputs": {s.name: s.width for s in design.inputs},
         "outputs": {s.name: s.width for s in design.outputs},
     }
+
+
+_interface_signature = interface_signature
 
 
 def equivalence_check(

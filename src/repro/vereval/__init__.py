@@ -14,6 +14,7 @@ from repro.vereval.harness import (
     EvalConfig,
     EvalResult,
     ProblemOutcome,
+    check_candidate_source,
     check_completion,
     evaluate_model,
 )
@@ -25,6 +26,7 @@ __all__ = [
     "EvalConfig",
     "EvalResult",
     "ProblemOutcome",
+    "check_candidate_source",
     "check_completion",
     "evaluate_model",
 ]

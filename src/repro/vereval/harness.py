@@ -1,16 +1,34 @@
-"""Generation + functional-check harness producing pass@k scores."""
+"""Generation + functional-check harness producing pass@k scores.
+
+Since the evalkit refactor this module plays two roles:
+
+* it owns the *verdict* for one completion (:func:`check_completion`),
+  backed by a per-problem cache of golden artifacts — the golden module
+  is parsed, elaborated, stimulated, and simulated **once per problem**
+  and every candidate is then checked against the recorded golden output
+  trace, instead of re-deriving all of that per sample;
+* :func:`evaluate_model` is a thin facade compiling the paper's pass@k
+  protocol into a :class:`repro.evalkit.EvalPlan`, which runs it through
+  the streaming/parallel/checkpointable engine with numerically identical
+  results (same :class:`DeterministicRNG` fork chain per sample).
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import ElaborationError, SimulationError
+from repro.errors import ElaborationError, LexError, ParseError, SimulationError
 from repro.llm.model import LanguageModel
-from repro.llm.sampler import GenerationConfig
-from repro.sim import elaborate, equivalence_check, random_stimulus
+from repro.sim import (
+    EquivalenceResult,
+    Testbench,
+    elaborate,
+    interface_signature,
+    random_stimulus,
+)
 from repro.utils.rng import DeterministicRNG
-from repro.verilog import parse_source
+from repro.verilog import parse_source_fast
 from repro.vereval.passk import mean_pass_at_k
 from repro.vereval.problems import EvalProblem
 
@@ -60,6 +78,176 @@ class EvalResult:
         return " ".join(parts)
 
 
+class _GoldenRef:
+    """Per-problem golden artifacts, derived once and reused per sample.
+
+    ``trace`` holds the golden module's output vector for every stimulus
+    cycle under the exact reset/clock protocol of
+    :func:`repro.sim.equivalence_check`; a candidate is then simulated
+    alone and compared cycle-by-cycle against the trace, which is
+    verdict-identical to lockstep simulation of both designs but does the
+    golden half of the work once per problem instead of once per sample.
+    """
+
+    __slots__ = (
+        "design", "signature", "stimulus", "trace", "error", "error_phase"
+    )
+
+    def __init__(self, problem: EvalProblem) -> None:
+        self.design = elaborate(
+            parse_source_fast(problem.golden_source), problem.module.name
+        )
+        self.signature = interface_signature(self.design)
+        self.stimulus = random_stimulus(
+            self.design, problem.stimulus_cycles, seed=problem.stimulus_seed
+        )
+        #: per-cycle golden outputs; cut short when the golden simulation
+        #: itself errors, with the message and the phase it failed in
+        #: recorded so candidates observe the exact verdict lockstep
+        #: simulation would have produced
+        self.trace: List[Dict[str, int]] = []
+        self.error: Optional[str] = None
+        self.error_phase: str = ""  # "" | "construct" | "reset" | "step"
+        interface = problem.module.interface
+        phase = "construct"
+        try:
+            bench = Testbench(
+                self.design,
+                clock=interface.clock,
+                reset=interface.reset,
+                reset_active_high=interface.reset_active_high,
+            )
+            phase = "reset"
+            bench.apply_reset()
+            phase = "step"
+            for vector in self.stimulus:
+                self.trace.append(bench.step(vector))
+        except SimulationError as exc:
+            self.error = str(exc)
+            self.error_phase = phase
+
+
+#: golden artifacts keyed by problem identity *and* content (including
+#: the clock/reset protocol the trace was recorded under), so a problem
+#: object rebuilt with the same data hits the cache while a redefined one
+#: cannot alias a stale entry
+_GOLDEN_CACHE: Dict[Tuple, _GoldenRef] = {}
+_GOLDEN_CACHE_MAX = 256
+
+
+def _golden_ref(problem: EvalProblem) -> _GoldenRef:
+    interface = problem.module.interface
+    key = (
+        problem.problem_id,
+        problem.module.name,
+        problem.stimulus_cycles,
+        problem.stimulus_seed,
+        interface.clock,
+        interface.reset,
+        interface.reset_active_high,
+        problem.golden_source,
+    )
+    ref = _GOLDEN_CACHE.get(key)
+    if ref is None:
+        if len(_GOLDEN_CACHE) >= _GOLDEN_CACHE_MAX:
+            _GOLDEN_CACHE.clear()
+        ref = _GoldenRef(problem)
+        _GOLDEN_CACHE[key] = ref
+    return ref
+
+
+def _check_against_trace(
+    ref: _GoldenRef, candidate, problem: EvalProblem
+) -> EquivalenceResult:
+    """Candidate-only lockstep against the cached golden trace.
+
+    Mirrors :func:`repro.sim.equivalence_check` verdict-for-verdict: the
+    interface gate, error precedence (the golden design steps first each
+    cycle, so a golden simulation error at cycle ``c`` preempts both the
+    candidate's step and the output comparison at ``c``), and the
+    first-mismatch bookkeeping are all preserved.
+    """
+    if ref.signature != interface_signature(candidate):
+        return EquivalenceResult(
+            equivalent=False,
+            error="interface mismatch",
+            notes=[
+                f"golden={ref.signature}",
+                f"candidate={interface_signature(candidate)}",
+            ],
+        )
+    # Lockstep order is: golden bench built, candidate bench built,
+    # golden reset, candidate reset, then per cycle golden step before
+    # candidate step.  Golden-failure checks interleave with the
+    # candidate's own stages in exactly that order, so whichever design
+    # failed first in lockstep supplies the error string here too.
+    if ref.error_phase == "construct":
+        return EquivalenceResult(equivalent=False, error=ref.error)
+    interface = problem.module.interface
+    try:
+        bench = Testbench(
+            candidate,
+            clock=interface.clock,
+            reset=interface.reset,
+            reset_active_high=interface.reset_active_high,
+        )
+        if ref.error_phase == "reset":
+            return EquivalenceResult(equivalent=False, error=ref.error)
+        bench.apply_reset()
+        for cycle, vector in enumerate(ref.stimulus):
+            if cycle >= len(ref.trace):
+                return EquivalenceResult(equivalent=False, error=ref.error)
+            expected_outputs = ref.trace[cycle]
+            actual_outputs = bench.step(vector)
+            for name, expected in expected_outputs.items():
+                actual = actual_outputs.get(name)
+                if actual != expected:
+                    return EquivalenceResult(
+                        equivalent=False,
+                        cycles_run=cycle + 1,
+                        first_mismatch_cycle=cycle,
+                        mismatched_output=name,
+                        expected=expected,
+                        actual=actual,
+                    )
+    except SimulationError as exc:
+        return EquivalenceResult(equivalent=False, error=str(exc))
+    return EquivalenceResult(equivalent=True, cycles_run=len(ref.stimulus))
+
+
+def check_candidate_source(
+    problem: EvalProblem, candidate_source: str
+) -> Tuple[bool, str]:
+    """Functional verdict for a full candidate module source.
+
+    Returns (passed, failure_reason); reason is "" on success.  Parsing
+    failures are classified ``syntax`` only for actual lexer/parser
+    errors; any other exception is a harness bug and surfaces as
+    ``internal`` instead of being miscounted as a model failure.
+    """
+    try:
+        candidate_file = parse_source_fast(candidate_source)
+    except (LexError, ParseError):
+        return False, "syntax"
+    except Exception:
+        return False, "internal"
+    name = problem.module.name
+    if candidate_file.module(name) is None:
+        return False, "missing_module"
+    try:
+        ref = _golden_ref(problem)
+        candidate = elaborate(candidate_file, name)
+    except ElaborationError:
+        return False, "elaboration"
+    try:
+        verdict = _check_against_trace(ref, candidate, problem)
+    except SimulationError:
+        return False, "simulation"
+    if verdict.equivalent:
+        return True, ""
+    return False, verdict.error or "mismatch"
+
+
 def check_completion(
     problem: EvalProblem, completion: str
 ) -> Tuple[bool, str]:
@@ -68,81 +256,29 @@ def check_completion(
     The candidate module is prompt header + completion.  Returns
     (passed, failure_reason); reason is "" on success.
     """
-    candidate_source = problem.prompt() + completion
-    try:
-        candidate_file = parse_source(candidate_source)
-    except Exception:
-        return False, "syntax"
-    name = problem.module.name
-    if candidate_file.module(name) is None:
-        return False, "missing_module"
-    try:
-        golden = elaborate(parse_source(problem.golden_source), name)
-        candidate = elaborate(candidate_file, name)
-    except ElaborationError:
-        return False, "elaboration"
-    interface = problem.module.interface
-    stimulus = random_stimulus(
-        golden, problem.stimulus_cycles, seed=problem.stimulus_seed
-    )
-    try:
-        verdict = equivalence_check(
-            golden,
-            candidate,
-            stimulus,
-            clock=interface.clock,
-            reset=interface.reset,
-            reset_active_high=interface.reset_active_high,
-        )
-    except SimulationError:
-        return False, "simulation"
-    if verdict.equivalent:
-        return True, ""
-    return False, verdict.error or "mismatch"
+    return check_candidate_source(problem, problem.prompt() + completion)
 
 
 def evaluate_model(
     model: LanguageModel,
     problems: Sequence[EvalProblem],
     config: Optional[EvalConfig] = None,
+    executor=None,
+    store=None,
+    checkpoint_tag: str = "passk",
 ) -> EvalResult:
-    """Run the full pass@k protocol for one model."""
-    config = config or EvalConfig()
-    if config.n_samples < max(config.ks):
-        raise ValueError("n_samples must be >= max k")
-    result = EvalResult(model_name=model.name)
-    for temperature in config.temperatures:
-        outcomes: List[ProblemOutcome] = []
-        for problem in problems:
-            gen_config = GenerationConfig(
-                temperature=temperature,
-                max_new_tokens=config.max_new_tokens,
-                stop_strings=("endmodule",),
-            )
-            passes = 0
-            failures: Dict[str, int] = {}
-            prompt = problem.prompt()
-            for sample_index in range(config.n_samples):
-                seed = DeterministicRNG(config.seed).fork(
-                    model.name, temperature, problem.problem_id, sample_index
-                ).seed
-                completion = model.generate(prompt, gen_config, seed=seed)
-                ok, reason = check_completion(problem, completion)
-                if ok:
-                    passes += 1
-                else:
-                    failures[reason] = failures.get(reason, 0) + 1
-            outcomes.append(
-                ProblemOutcome(
-                    problem_id=problem.problem_id,
-                    passes=passes,
-                    samples=config.n_samples,
-                    failures=failures,
-                )
-            )
-        result.outcomes[temperature] = outcomes
-        counts = [o.passes for o in outcomes]
-        result.per_temperature[temperature] = {
-            k: mean_pass_at_k(counts, config.n_samples, k) for k in config.ks
-        }
-    return result
+    """Run the full pass@k protocol for one model.
+
+    A facade over :class:`repro.evalkit.EvalPlan`: the protocol compiles
+    into the engine's stage graph (prompt/seed expansion, generation,
+    pooled functional checking, aggregation) and produces exactly the
+    numbers the seed-era serial loop did.  ``executor`` selects the chunk
+    executor (default serial); ``store`` enables checkpoint/resume under
+    ``checkpoint_tag``.
+    """
+    from repro.evalkit import EvalPlan, PassAtKTask
+
+    task = PassAtKTask(problems, config or EvalConfig())
+    plan = EvalPlan([model], [task], executor=executor)
+    run = plan.run(store=store, tag=checkpoint_tag)
+    return run.result(model.name, task.task_id)

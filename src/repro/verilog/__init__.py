@@ -24,7 +24,7 @@ Supported subset (the synthesizable constructs our corpus generators emit):
 from repro.verilog.tokens import Token, TokenKind, KEYWORDS
 from repro.verilog.lexer import Lexer, lex
 from repro.verilog.fastlex import check_syntax_fast, lex_fast
-from repro.verilog.parser import Parser, parse_source
+from repro.verilog.parser import Parser, parse_source, parse_source_fast
 from repro.verilog.syntax import SyntaxReport, check_syntax
 from repro.verilog import ast
 
@@ -38,6 +38,7 @@ __all__ = [
     "check_syntax_fast",
     "Parser",
     "parse_source",
+    "parse_source_fast",
     "SyntaxReport",
     "check_syntax",
     "ast",

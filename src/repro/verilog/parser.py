@@ -711,3 +711,16 @@ class Parser:
 def parse_source(source: str) -> ast.SourceFile:
     """Lex and parse Verilog ``source`` text into a :class:`SourceFile`."""
     return Parser(lex(source)).parse_source()
+
+
+def parse_source_fast(source: str) -> ast.SourceFile:
+    """:func:`parse_source` through the regex lexer.
+
+    ``lex_fast`` produces the exact token stream of ``lex`` (the contract
+    :mod:`repro.verilog.fastlex` states and ``tests/test_fastlex.py``
+    enforces), so the resulting AST is identical; only the lexing cost
+    changes.  Evaluation-side hot paths use this entry point.
+    """
+    from repro.verilog.fastlex import lex_fast
+
+    return Parser(lex_fast(source)).parse_source()
