@@ -1,17 +1,48 @@
-"""Cycle-based two-state RTL simulator.
+"""Cycle-based two-state RTL simulator with two execution backends.
 
 This package substitutes for the commercial/open-source simulation used by
 VerilogEval to decide functional correctness.  It elaborates a parsed
 design (resolving parameters and flattening hierarchy), then simulates it
 with synchronous semantics:
 
-* continuous assignments and combinational ``always`` blocks settle to a
-  fixpoint after every input or state change;
+* continuous assignments and combinational ``always`` blocks settle after
+  every input or state change;
 * edge-triggered ``always`` blocks execute on clock edges with nonblocking
   assignments committed atomically (async resets are honoured via edge
   detection on every input change);
 * all state is two-valued — registers start at 0 and designs are expected
   to be reset-initialized, which holds for the benchmark problems.
+
+Execution backends
+------------------
+
+``Simulator(design)`` fronts two interchangeable backends:
+
+* the **compiled backend** (:mod:`repro.sim.compile`, the default):
+  :func:`~repro.sim.compile.compile_design` lowers the design once to
+  slot-indexed state (signals/memories resolved to integer slots, widths
+  and masks frozen), expressions and statement bodies to nested closures,
+  and the acyclic combinational region to a levelized (topologically
+  sorted) schedule.  A poke marks only the fanout cone dirty and executes
+  it in one ordered pass — no global fixpoint iteration on the hot path.
+* the **interpreter backend** (:class:`~repro.sim.simulator.InterpreterSimulator`):
+  the original AST-walking reference implementation, kept as selectable
+  ground truth for differential testing.
+
+Backend selection: ``Simulator(design, backend="auto"|"compiled"|"interp")``,
+the ``REPRO_SIM_BACKEND`` environment variable, or
+:func:`~repro.sim.simulator.set_default_backend`.  ``"auto"`` uses the
+compiled backend whenever the design statically lowers and silently falls
+back to the interpreter otherwise.
+
+Fixpoint fallback contract: regions the static scheduler cannot levelize
+(combinational cycles, multiple combinational drivers of one signal, or a
+block reading a value it also drives) still run compiled node bodies, but
+under the interpreter's bounded full-pass fixpoint — same evaluation
+order, same round bound, same ``SimulationError`` classification for true
+combinational loops.  Both backends are cycle-identical; differential
+tests in ``tests/test_sim_compile.py`` enforce this across every ``vgen``
+family and the vereval problem set.
 
 The public entry points are :func:`elaborate` and the
 :class:`~repro.sim.testbench.Testbench` /
@@ -20,7 +51,19 @@ The public entry points are :func:`elaborate` and the
 
 from repro.sim.values import mask, to_signed, from_signed, bit_length_for
 from repro.sim.elaborate import Design, Signal, elaborate
-from repro.sim.simulator import Simulator
+from repro.sim.simulator import (
+    BACKENDS,
+    InterpreterSimulator,
+    Simulator,
+    default_backend,
+    set_default_backend,
+)
+from repro.sim.compile import (
+    CompiledDesign,
+    CompiledSimulator,
+    UncompilableDesign,
+    compile_design,
+)
 from repro.sim.testbench import (
     EquivalenceResult,
     StimulusVector,
@@ -28,6 +71,7 @@ from repro.sim.testbench import (
     equivalence_check,
     interface_signature,
     random_stimulus,
+    simulate_source,
 )
 
 __all__ = [
@@ -38,11 +82,20 @@ __all__ = [
     "Design",
     "Signal",
     "elaborate",
+    "BACKENDS",
     "Simulator",
+    "InterpreterSimulator",
+    "CompiledSimulator",
+    "CompiledDesign",
+    "UncompilableDesign",
+    "compile_design",
+    "default_backend",
+    "set_default_backend",
     "Testbench",
     "StimulusVector",
     "EquivalenceResult",
     "equivalence_check",
     "interface_signature",
     "random_stimulus",
+    "simulate_source",
 ]

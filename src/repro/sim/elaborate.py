@@ -92,6 +92,13 @@ class Design:
         except KeyError:
             raise ElaborationError(f"no signal named {name!r}") from None
 
+    def __getstate__(self):
+        # The compiled-backend cache (repro.sim.compile) is closures and
+        # cannot pickle; designs shipped to pool workers recompile there.
+        state = dict(self.__dict__)
+        state.pop("_compiled", None)
+        return state
+
 
 class _Rewriter:
     """Rewrites identifiers in an AST: params fold to constants, signal

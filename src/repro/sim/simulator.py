@@ -5,16 +5,37 @@ The simulator is cycle-based and two-state:
 * ``poke`` drives a signal; any edge-triggered blocks sensitive to the
   resulting transition fire (this is how both clocks and async resets are
   driven), with nonblocking updates committed atomically afterwards;
+  ``poke_many`` applies a whole stimulus vector with a single settle and
+  a single edge-detection pass;
 * combinational logic (continuous assigns + ``always @(*)``) re-settles to
   a fixpoint after every change, with an iteration bound that turns
   combinational loops into :class:`~repro.errors.SimulationError` instead
   of hangs;
 * ``peek`` reads any flat signal.
+
+Two execution backends implement these semantics behind one constructor:
+
+* :class:`InterpreterSimulator` — the AST-walking reference backend in
+  this module.  Every settle round re-evaluates every combinational node
+  until a global fixpoint; simple, slow, and treated as ground truth.
+* :class:`~repro.sim.compile.CompiledSimulator` — the compile-once
+  backend in :mod:`repro.sim.compile`: slot-indexed state, expressions
+  lowered to closures, and the acyclic combinational region levelized
+  into a topologically sorted schedule driven by a fanout dirty set.
+
+``Simulator(design)`` picks the backend: ``"auto"`` (the default,
+overridable via the ``REPRO_SIM_BACKEND`` environment variable or
+:func:`set_default_backend`) compiles the design and falls back to the
+interpreter when the compiler cannot statically lower it; ``"compiled"``
+requires the compiled backend; ``"interp"`` forces the interpreter.
+Both backends are cycle-identical (enforced by the differential tests in
+``tests/test_sim_compile.py``).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+import os
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.errors import SimulationError
 from repro.verilog import ast
@@ -24,11 +45,33 @@ from repro.sim.values import mask
 
 _MAX_LOOP_ITERS = 1 << 16
 
+BACKENDS = ("auto", "compiled", "interp")
+
+_DEFAULT_BACKEND = os.environ.get("REPRO_SIM_BACKEND", "auto")
+
+
+def default_backend() -> str:
+    """The backend ``Simulator`` uses when none is passed explicitly."""
+    return _DEFAULT_BACKEND
+
+
+def set_default_backend(name: str) -> str:
+    """Set the process-wide default backend; returns the previous value."""
+    global _DEFAULT_BACKEND
+    if name not in BACKENDS:
+        raise SimulationError(
+            f"unknown simulator backend {name!r} (expected one of {BACKENDS})"
+        )
+    previous = _DEFAULT_BACKEND
+    _DEFAULT_BACKEND = name
+    return previous
+
 
 class _SimScope:
     """Evaluator scope reading simulator state through a blocking overlay."""
 
-    def __init__(self, sim: "Simulator", overlay: Optional[Dict[str, int]] = None,
+    def __init__(self, sim: "InterpreterSimulator",
+                 overlay: Optional[Dict[str, int]] = None,
                  mem_overlay: Optional[Dict[Tuple[str, int], int]] = None) -> None:
         self._sim = sim
         self.overlay = overlay if overlay is not None else {}
@@ -79,9 +122,111 @@ class _NBAUpdate:
 
 
 class Simulator:
-    """Executes an elaborated :class:`~repro.sim.elaborate.Design`."""
+    """Executes an elaborated :class:`~repro.sim.elaborate.Design`.
 
-    def __init__(self, design: Design, max_settle_rounds: Optional[int] = None):
+    This class is a transparent facade over two backends.  Constructing
+    ``Simulator(design)`` returns an :class:`InterpreterSimulator` or a
+    :class:`~repro.sim.compile.CompiledSimulator` depending on ``backend``
+    (``"auto"`` / ``"compiled"`` / ``"interp"``; ``None`` means the
+    process default, see :func:`set_default_backend`).  Both expose the
+    same observable API: ``poke``, ``poke_many``, ``peek``, ``peek_mem``,
+    ``settle``, and ``state`` / ``mems`` views of the flat state.
+    """
+
+    def __new__(cls, design: Design, max_settle_rounds: Optional[int] = None,
+                backend: Optional[str] = None):
+        if cls is not Simulator:
+            return object.__new__(cls)
+        choice = backend or _DEFAULT_BACKEND
+        if choice not in BACKENDS:
+            raise SimulationError(
+                f"unknown simulator backend {choice!r} "
+                f"(expected one of {BACKENDS})"
+            )
+        if choice == "interp":
+            return object.__new__(InterpreterSimulator)
+        from repro.sim.compile import (
+            CompiledSimulator,
+            UncompilableDesign,
+            compile_design,
+        )
+        try:
+            compile_design(design)
+        except UncompilableDesign as exc:
+            if choice == "compiled":
+                raise SimulationError(
+                    f"design does not compile: {exc}"
+                ) from None
+            return object.__new__(InterpreterSimulator)
+        return object.__new__(CompiledSimulator)
+
+    # -- shared poke protocol ------------------------------------------------
+    #
+    # Both backends implement `_poke_pending` (would this poke change
+    # state?), `_poke_apply` (write the masked value), `_trigger_snapshot`
+    # (trigger-signal bits as a list), `settle`, and `_fire_edges`.
+
+    def poke(self, name: str, value: int) -> None:
+        """Drive ``name`` to ``value``; fire any triggered edge blocks.
+
+        Edge detection compares trigger-signal values before the poke with
+        their values after combinational settle, so edges that propagate
+        through hierarchy glue or derived-clock logic are seen.  Blocks
+        whose updates create further edges (ripple counters) fire in
+        cascading rounds, bounded to catch oscillating clock loops.
+        """
+        if not self._poke_pending(name, value):
+            return
+        snapshot = self._trigger_snapshot()
+        self._poke_apply(name, value)
+        self.settle()
+        self._fire_edges(snapshot)
+
+    def poke_many(self, values: Mapping[str, int]) -> None:
+        """Apply a whole stimulus vector with one settle + one edge pass.
+
+        Equivalent to poking every entry "at the same instant": all values
+        land before combinational logic re-settles, and edge detection
+        compares trigger bits from before the first write against the
+        post-settle state.  One batched call replaces N per-poke settles
+        and N edge-detection passes, which is the hot loop of
+        :meth:`repro.sim.testbench.Testbench.drive`.
+        """
+        snapshot = None
+        for name, value in values.items():
+            if not self._poke_pending(name, value):
+                continue
+            if snapshot is None:
+                snapshot = self._trigger_snapshot()
+            self._poke_apply(name, value)
+        if snapshot is None:
+            return
+        self.settle()
+        self._fire_edges(snapshot)
+
+    # -- backend hooks -------------------------------------------------------
+
+    def _poke_pending(self, name: str, value: int) -> bool:
+        raise NotImplementedError
+
+    def _poke_apply(self, name: str, value: int) -> None:
+        raise NotImplementedError
+
+    def _trigger_snapshot(self) -> List[int]:
+        raise NotImplementedError
+
+    def settle(self) -> None:
+        raise NotImplementedError
+
+    def _fire_edges(self, snapshot: List[int]) -> None:
+        raise NotImplementedError
+
+
+class InterpreterSimulator(Simulator):
+    """AST-interpreting reference backend (ground truth for differentials)."""
+
+    def __init__(self, design: Design, max_settle_rounds: Optional[int] = None,
+                 backend: Optional[str] = None):
         self.design = design
         self.state: Dict[str, int] = {name: 0 for name in design.signals}
         self.mems: Dict[str, List[int]] = {
@@ -96,40 +241,45 @@ class Simulator:
         self._trigger_signals = sorted(
             {name for block in design.seq_blocks for _, name in block.triggers}
         )
+        trigger_index = {name: i for i, name in enumerate(self._trigger_signals)}
+        #: Per seq block: (wanted post-edge bit, trigger list index) pairs,
+        #: resolved once so edge detection never rebuilds name dicts.
+        self._block_triggers = [
+            [
+                (1 if edge == "posedge" else 0, trigger_index[name])
+                for edge, name in block.triggers
+            ]
+            for block in design.seq_blocks
+        ]
         self._run_initial()
         self.settle()
 
-    # -- public API ---------------------------------------------------------
+    # -- poke hooks ---------------------------------------------------------
 
-    def poke(self, name: str, value: int) -> None:
-        """Drive ``name`` to ``value``; fire any triggered edge blocks.
-
-        Edge detection compares trigger-signal values before the poke with
-        their values after combinational settle, so edges that propagate
-        through hierarchy glue or derived-clock logic are seen.  Blocks
-        whose updates create further edges (ripple counters) fire in
-        cascading rounds, bounded to catch oscillating clock loops.
-        """
+    def _poke_pending(self, name: str, value: int) -> bool:
         signal = self.design.signal(name)
-        old = self.state[name]
-        new = mask(value, signal.width)
-        if old == new:
-            return
-        snapshot = {s: self.state[s] & 1 for s in self._trigger_signals}
-        self.state[name] = new
-        self.settle()
-        self._fire_edges(snapshot)
+        return self.state[name] != mask(value, signal.width)
 
-    def _fire_edges(self, snapshot: Dict[str, int]) -> None:
+    def _poke_apply(self, name: str, value: int) -> None:
+        self.state[name] = mask(value, self.design.signal(name).width)
+
+    def _trigger_snapshot(self) -> List[int]:
+        state = self.state
+        return [state[s] & 1 for s in self._trigger_signals]
+
+    def _fire_edges(self, snapshot: List[int]) -> None:
+        state = self.state
+        names = self._trigger_signals
         for _ in range(self._max_rounds):
-            current = {s: self.state[s] & 1 for s in self._trigger_signals}
+            current = [state[s] & 1 for s in names]
             triggered = [
                 block
-                for block in self.design.seq_blocks
+                for block, triggers in zip(
+                    self.design.seq_blocks, self._block_triggers
+                )
                 if any(
-                    self._edge_matches(block, name, snapshot[name], bit)
-                    for name, bit in current.items()
-                    if snapshot[name] != bit
+                    snapshot[ti] != current[ti] and current[ti] == want
+                    for want, ti in triggers
                 )
             ]
             if not triggered:
@@ -180,18 +330,6 @@ class Simulator:
             self._exec_stmt(stmt, scope, nba)
             self._commit_overlay(scope)
             self._commit_nba(nba)
-
-    def _edge_matches(
-        self, block: SeqBlock, name: str, old_bit: int, new_bit: int
-    ) -> bool:
-        for edge, signal in block.triggers:
-            if signal != name:
-                continue
-            if edge == "posedge" and old_bit == 0 and new_bit == 1:
-                return True
-            if edge == "negedge" and old_bit == 1 and new_bit == 0:
-                return True
-        return False
 
     def _run_seq_blocks(self, blocks: List[SeqBlock]) -> None:
         """Run edge blocks concurrently: all read pre-edge state, then all
@@ -297,15 +435,22 @@ class Simulator:
     def _exec_case(
         self, stmt: ast.Case, scope: _SimScope, nba: List[_NBAUpdate]
     ) -> None:
-        subject_width = self_width(stmt.subject, scope)
+        # Case comparison width is the max over the subject and every
+        # label (IEEE 1364 case sizing); the subject is evaluated once at
+        # that width instead of once per label.
+        width = self_width(stmt.subject, scope)
+        for item in stmt.items:
+            for label in item.labels:
+                label_width = self_width(label, scope)
+                if label_width > width:
+                    width = label_width
+        subject = eval_expr(stmt.subject, scope, width)
         default: Optional[ast.CaseItem] = None
         for item in stmt.items:
             if item.is_default:
                 default = item
                 continue
             for label in item.labels:
-                width = max(subject_width, self_width(label, scope))
-                subject = eval_expr(stmt.subject, scope, width)
                 value = eval_expr(label, scope, width)
                 wildcard = 0
                 if stmt.kind in ("casez", "casex") and isinstance(

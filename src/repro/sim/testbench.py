@@ -7,6 +7,13 @@ same stimulus and comparing every output each cycle.  This module provides:
 * :class:`Testbench` — drive a single design with named clock/reset,
 * :func:`random_stimulus` — seeded random input vectors,
 * :func:`equivalence_check` — lockstep golden-vs-candidate comparison.
+
+All three front the two-backend :class:`~repro.sim.simulator.Simulator`
+(compiled by default, interpreter as reference); pass ``backend=`` to pin
+one explicitly.  ``Testbench.drive`` applies a whole stimulus vector
+through :meth:`~repro.sim.simulator.Simulator.poke_many`, so one vector
+costs one combinational settle and one edge-detection pass regardless of
+how many inputs it carries.
 """
 
 from __future__ import annotations
@@ -40,9 +47,10 @@ class Testbench:
         clock: Optional[str] = "clk",
         reset: Optional[str] = None,
         reset_active_high: bool = True,
+        backend: Optional[str] = None,
     ) -> None:
         self.design = design
-        self.sim = Simulator(design)
+        self.sim = Simulator(design, backend=backend)
         input_names = {s.name for s in design.inputs}
         if clock is not None and clock not in input_names:
             clock = None  # combinational design; tolerate a missing clock
@@ -51,15 +59,21 @@ class Testbench:
             reset = None
         self.reset = reset
         self.reset_active_high = reset_active_high
+        # Port name lists are per-design constants; resolve them once
+        # instead of re-walking the signal table every sample().
+        special = {self.clock, self.reset}
+        self._input_names = [
+            s.name for s in design.inputs if s.name not in special
+        ]
+        self._output_names = [s.name for s in design.outputs]
 
     @property
     def input_names(self) -> List[str]:
-        special = {self.clock, self.reset}
-        return [s.name for s in self.design.inputs if s.name not in special]
+        return self._input_names
 
     @property
     def output_names(self) -> List[str]:
-        return [s.name for s in self.design.outputs]
+        return self._output_names
 
     def apply_reset(self, cycles: int = 2) -> None:
         """Assert reset for ``cycles`` clock cycles, then deassert."""
@@ -73,9 +87,12 @@ class Testbench:
         self.sim.poke(self.reset, 1 - active)
 
     def drive(self, vector: StimulusVector) -> None:
-        """Apply one vector of input values (no clock toggle)."""
-        for name, value in vector.items():
-            self.sim.poke(name, value)
+        """Apply one vector of input values (no clock toggle).
+
+        The whole vector lands in one batch: one settle, one
+        edge-detection pass (see :meth:`Simulator.poke_many`).
+        """
+        self.sim.poke_many(vector)
 
     def tick(self, cycles: int = 1) -> None:
         """Toggle the clock low->high ``cycles`` times."""
@@ -93,7 +110,8 @@ class Testbench:
 
     def sample(self) -> Dict[str, int]:
         """Read all outputs after combinational settle."""
-        return {name: self.sim.peek(name) for name in self.output_names}
+        peek = self.sim.peek
+        return {name: peek(name) for name in self._output_names}
 
 
 def random_stimulus(
@@ -105,17 +123,19 @@ def random_stimulus(
     """Generate ``cycles`` random input vectors for ``design``.
 
     Values are uniform over each input's width.  Control-looking inputs in
-    ``exclude`` are left to the harness.
+    ``exclude`` are left to the harness.  The data-input list and each
+    input's range are resolved once up front, not per cycle.
     """
     rng = DeterministicRNG(seed)
-    vectors: List[StimulusVector] = []
-    data_inputs = [s for s in design.inputs if s.name not in exclude]
-    for _ in range(cycles):
-        vector = {
-            s.name: rng.randint(0, (1 << s.width) - 1) for s in data_inputs
-        }
-        vectors.append(vector)
-    return vectors
+    spans = [
+        (s.name, (1 << s.width) - 1)
+        for s in design.inputs
+        if s.name not in exclude
+    ]
+    return [
+        {name: rng.randint(0, hi) for name, hi in spans}
+        for _ in range(cycles)
+    ]
 
 
 @dataclass
@@ -154,6 +174,7 @@ def equivalence_check(
     reset: Optional[str] = None,
     reset_active_high: bool = True,
     reset_cycles: int = 2,
+    backend: Optional[str] = None,
 ) -> EquivalenceResult:
     """Simulate both designs in lockstep and compare outputs every cycle.
 
@@ -172,8 +193,10 @@ def equivalence_check(
             ],
         )
     try:
-        tb_gold = Testbench(golden, clock, reset, reset_active_high)
-        tb_cand = Testbench(candidate, clock, reset, reset_active_high)
+        tb_gold = Testbench(golden, clock, reset, reset_active_high,
+                            backend=backend)
+        tb_cand = Testbench(candidate, clock, reset, reset_active_high,
+                            backend=backend)
         tb_gold.apply_reset(reset_cycles)
         tb_cand.apply_reset(reset_cycles)
         for cycle, vector in enumerate(stimulus):
@@ -201,9 +224,10 @@ def simulate_source(
     stimulus: Sequence[StimulusVector],
     clock: Optional[str] = "clk",
     reset: Optional[str] = None,
+    backend: Optional[str] = None,
 ) -> List[Dict[str, int]]:
     """Convenience: elaborate ``top`` and return per-cycle output samples."""
     design = elaborate(source_file, top)
-    bench = Testbench(design, clock, reset)
+    bench = Testbench(design, clock, reset, backend=backend)
     bench.apply_reset()
     return [bench.step(vector) for vector in stimulus]

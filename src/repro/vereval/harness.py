@@ -6,7 +6,12 @@ Since the evalkit refactor this module plays two roles:
   backed by a per-problem cache of golden artifacts — the golden module
   is parsed, elaborated, stimulated, and simulated **once per problem**
   and every candidate is then checked against the recorded golden output
-  trace, instead of re-deriving all of that per sample;
+  trace, instead of re-deriving all of that per sample.  Golden and
+  candidate simulation both run on the compiled simulator backend
+  (:mod:`repro.sim.compile`) through the :class:`~repro.sim.Testbench`
+  facade, with per-vector batched pokes; the interpreter backend is
+  cycle-identical and kicks in automatically for candidates the compiler
+  cannot statically lower;
 * :func:`evaluate_model` is a thin facade compiling the paper's pass@k
   protocol into a :class:`repro.evalkit.EvalPlan`, which runs it through
   the streaming/parallel/checkpointable engine with numerically identical

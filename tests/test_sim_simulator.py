@@ -6,8 +6,16 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.errors import ElaborationError, SimulationError
-from repro.sim import Simulator, Testbench, elaborate
+from repro.sim import Simulator, Testbench, elaborate, set_default_backend
 from repro.verilog import parse_source
+
+
+@pytest.fixture(scope="module", params=["compiled", "interp"], autouse=True)
+def sim_backend(request):
+    """Run every behavioural test against both execution backends."""
+    previous = set_default_backend(request.param)
+    yield request.param
+    set_default_backend(previous)
 
 
 def build(source, top, **overrides):
@@ -91,6 +99,30 @@ class TestCombinational:
         for value, expected in [(0b1000, 3), (0b0100, 2), (0b0010, 1), (0b0001, 0)]:
             sim.poke("s", value)
             assert sim.peek("y") == expected
+
+    def test_case_mixed_label_widths(self):
+        # The subject is evaluated once at the max width over subject and
+        # all labels (IEEE case sizing); labels of differing width still
+        # match by value.
+        d = build(
+            "module m(input [3:0] s, output reg [1:0] y);"
+            " always @(*) case (s)"
+            " 2'd1: y = 2'd1; 8'd2: y = 2'd2; default: y = 2'd0;"
+            " endcase endmodule", "m"
+        )
+        sim = Simulator(d)
+        for value, expected in [(1, 1), (2, 2), (3, 0)]:
+            sim.poke("s", value)
+            assert sim.peek("y") == expected
+
+    def test_poke_many_batches_settle(self):
+        d = build(
+            "module m(input [7:0] a, input [7:0] b, output [8:0] s);"
+            " assign s = a + b; endmodule", "m"
+        )
+        sim = Simulator(d)
+        sim.poke_many({"a": 200, "b": 100})
+        assert sim.peek("s") == 300
 
 
 class TestSequential:

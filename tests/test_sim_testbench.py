@@ -1,12 +1,23 @@
 """Tests for the testbench and equivalence-check harness."""
 
+import pytest
+
 from repro.sim import (
     Testbench,
     elaborate,
     equivalence_check,
     random_stimulus,
+    set_default_backend,
 )
 from repro.verilog import parse_source
+
+
+@pytest.fixture(scope="module", params=["compiled", "interp"], autouse=True)
+def sim_backend(request):
+    """Run the harness tests against both execution backends."""
+    previous = set_default_backend(request.param)
+    yield request.param
+    set_default_backend(previous)
 
 ALU = """
 module alu(input [7:0] a, input [7:0] b, input [1:0] op,
@@ -126,6 +137,16 @@ class TestTestbench:
         tb = Testbench(design(COUNTER, "counter"), "clk", "rst")
         assert tb.input_names == ["en"]
         assert tb.output_names == ["q"]
+
+    def test_name_lists_resolved_once(self):
+        tb = Testbench(design(COUNTER, "counter"), "clk", "rst")
+        assert tb.output_names is tb.output_names
+        assert tb.input_names is tb.input_names
+
+    def test_drive_applies_whole_vector(self):
+        tb = Testbench(design(ALU, "alu"), clock=None)
+        tb.drive({"a": 9, "b": 3, "op": 1})
+        assert tb.sample()["y"] == 6
 
     def test_active_low_reset(self):
         source = COUNTER.replace("input rst", "input rst_n").replace(
