@@ -20,6 +20,7 @@ from repro.engine import MapStage, Stage, StatefulStage, register_stage
 from repro.evalkit.records import SampleRecord
 from repro.llm.model import LanguageModel
 from repro.llm.sampler import GenerationConfig
+from repro.sim import cache as sim_cache
 
 
 @register_stage("eval_expand")
@@ -107,16 +108,35 @@ class GenerationStage(MapStage):
 
 @register_stage("eval_check")
 class CheckStage(MapStage):
-    """Score each completion via its task's checker (the hot stage)."""
+    """Score each completion via its task's checker (the hot stage).
+
+    Captures the active :mod:`repro.sim.cache` directory at construction
+    and re-activates it after unpickling, so process-pool workers share
+    the run's persistent compile cache (golden artifacts and duplicate
+    candidate elaborations hit disk instead of re-lexing/re-parsing)
+    even under executor start methods that do not inherit the parent's
+    environment.
+    """
 
     name = "eval_check"
     parallel_safe = True
 
-    def __init__(self, checkers: Mapping[str, Any]) -> None:
+    def __init__(self, checkers: Mapping[str, Any],
+                 cache_dir: str = None) -> None:
         self.checkers = dict(checkers)
+        self.cache_dir = (
+            cache_dir if cache_dir is not None else sim_cache.cache_dir()
+        )
+        if self.cache_dir:
+            sim_cache.configure(self.cache_dir)
 
     def map_item(self, record: SampleRecord) -> SampleRecord:
         return self.checkers[record.task_id].check(record)
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        if self.cache_dir:
+            sim_cache.configure(self.cache_dir)
 
 
 @register_stage("eval_aggregate")

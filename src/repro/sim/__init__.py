@@ -16,37 +16,58 @@ with synchronous semantics:
 Execution backends
 ------------------
 
-``Simulator(design)`` fronts two interchangeable backends:
+``Simulator(design)`` fronts three cycle-identical backends:
 
-* the **compiled backend** (:mod:`repro.sim.compile`, the default):
-  :func:`~repro.sim.compile.compile_design` lowers the design once to
-  slot-indexed state (signals/memories resolved to integer slots, widths
-  and masks frozen), expressions and statement bodies to nested closures,
-  and the acyclic combinational region to a levelized (topologically
-  sorted) schedule.  A poke marks only the fanout cone dirty and executes
-  it in one ordered pass — no global fixpoint iteration on the hot path.
-* the **interpreter backend** (:class:`~repro.sim.simulator.InterpreterSimulator`):
-  the original AST-walking reference implementation, kept as selectable
-  ground truth for differential testing.
+========== ==================== ===========================================
+backend    module               when it is selected
+========== ==================== ===========================================
+compiled   repro.sim.compile    default (``"auto"``): slot-indexed state,
+                                closure-compiled nodes, levelized schedule
+                                driven by a fanout dirty set — one stimulus
+                                stream, fastest scalar path
+interp     repro.sim.simulator  ``backend="interp"``, or ``"auto"`` when
+                                the design cannot be statically lowered;
+                                AST-walking ground truth for differentials
+batch      repro.sim.batch      ``backend="batch"`` or the lane APIs
+                                (``BatchSimulator(n_lanes=...)``,
+                                ``BatchTestbench``,
+                                ``sweep_random_stimulus``): per-slot numpy
+                                int64 arrays of shape ``[n_lanes]``, one
+                                full-level sweep evaluates every lane —
+                                many stimulus streams per node visit
+========== ==================== ===========================================
 
-Backend selection: ``Simulator(design, backend="auto"|"compiled"|"interp")``,
-the ``REPRO_SIM_BACKEND`` environment variable, or
+Backend selection: ``Simulator(design, backend=...)``, the
+``REPRO_SIM_BACKEND`` environment variable, or
 :func:`~repro.sim.simulator.set_default_backend`.  ``"auto"`` uses the
 compiled backend whenever the design statically lowers and silently falls
 back to the interpreter otherwise.
 
-Fixpoint fallback contract: regions the static scheduler cannot levelize
+Fallback contracts: regions the static scheduler cannot levelize
 (combinational cycles, multiple combinational drivers of one signal, or a
 block reading a value it also drives) still run compiled node bodies, but
 under the interpreter's bounded full-pass fixpoint — same evaluation
 order, same round bound, same ``SimulationError`` classification for true
-combinational loops.  Both backends are cycle-identical; differential
-tests in ``tests/test_sim_compile.py`` enforce this across every ``vgen``
-family and the vereval problem set.
+combinational loops (*fixpoint fallback*).  The batch backend narrows
+further: designs that do not levelize or exceed its 63-bit int64 lane
+budget fall back to the scalar backends (*scalar fallback*), and the rare
+lane that hits an unrepresentable runtime construct replays on the scalar
+path — so per-lane values and error classification always match a
+lane-by-lane scalar run.  Differential tests in
+``tests/test_sim_compile.py`` and ``tests/test_sim_batch.py`` enforce
+cycle identity across every ``vgen`` family and the vereval problem set.
+
+Compiled artifacts can persist across processes through the opt-in disk
+cache in :mod:`repro.sim.cache` (``REPRO_SIM_CACHE=/path`` — see that
+module for the key scheme), which evaluation pool workers use to skip
+re-lexing/re-parsing/re-elaborating golden and duplicate candidate
+modules.
 
 The public entry points are :func:`elaborate` and the
 :class:`~repro.sim.testbench.Testbench` /
-:func:`~repro.sim.testbench.equivalence_check` harness.
+:func:`~repro.sim.testbench.equivalence_check` harness (lane-parallel:
+:class:`~repro.sim.testbench.BatchTestbench` /
+:func:`~repro.sim.testbench.sweep_random_stimulus`).
 """
 
 from repro.sim.values import mask, to_signed, from_signed, bit_length_for
@@ -64,14 +85,24 @@ from repro.sim.compile import (
     UncompilableDesign,
     compile_design,
 )
+from repro.sim.batch import (
+    BatchDesign,
+    BatchDivergence,
+    BatchSimulator,
+    UnbatchableDesign,
+    batch_design,
+)
 from repro.sim.testbench import (
+    BatchTestbench,
     EquivalenceResult,
     StimulusVector,
+    SweepResult,
     Testbench,
     equivalence_check,
     interface_signature,
     random_stimulus,
     simulate_source,
+    sweep_random_stimulus,
 )
 
 __all__ = [
@@ -89,13 +120,21 @@ __all__ = [
     "CompiledDesign",
     "UncompilableDesign",
     "compile_design",
+    "BatchDesign",
+    "BatchDivergence",
+    "BatchSimulator",
+    "UnbatchableDesign",
+    "batch_design",
     "default_backend",
     "set_default_backend",
     "Testbench",
+    "BatchTestbench",
     "StimulusVector",
+    "SweepResult",
     "EquivalenceResult",
     "equivalence_check",
     "interface_signature",
     "random_stimulus",
     "simulate_source",
+    "sweep_random_stimulus",
 ]

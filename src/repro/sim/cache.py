@@ -1,0 +1,159 @@
+"""Persistent on-disk cache for simulation compile artifacts.
+
+Evaluation pool workers each pay the full lex -> parse -> elaborate ->
+stimulate -> simulate pipeline for every golden module (the in-process
+caches are per worker, and ``Design.__getstate__`` deliberately drops the
+unpicklable closure caches), and duplicate low-temperature completions
+re-elaborate verbatim-identical candidate sources in every fresh process.
+This module gives those paths a disk tier:
+
+* artifacts are pickled under a content-addressed key —
+  ``sha256(kind, BACKEND_VERSION, source, module name, *extra)`` — so a
+  cache entry can never alias a different source text, module, or
+  protocol, and bumping :data:`BACKEND_VERSION` (whenever backend
+  semantics or artifact layout change) strands every stale entry
+  unreadably rather than silently serving it;
+* the cache root comes from the ``REPRO_SIM_CACHE`` environment variable
+  or :func:`configure`; when neither is set every call is a cheap no-op,
+  so the tier is strictly opt-in;
+* writes are atomic (temp file + ``os.replace``) so concurrent pool
+  workers can share one directory, and unreadable/corrupt entries are
+  deleted and treated as misses.
+
+Consumers: :func:`repro.vereval.harness._golden_ref` persists whole
+golden artifact bundles (design + stimulus + output trace),
+:func:`repro.vereval.harness.check_candidate_source` persists elaborated
+candidate designs, and :class:`repro.evalkit.stages.CheckStage` forwards
+the configured cache directory to pool workers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from typing import Any, Optional
+
+from repro.sim.elaborate import Design
+
+__all__ = [
+    "BACKEND_VERSION",
+    "cache_dir",
+    "configure",
+    "load",
+    "store",
+    "get_design",
+    "put_design",
+]
+
+#: Key component shared by every artifact.  Bump on any change to backend
+#: semantics or to the layout of pickled artifacts: old entries then miss
+#: (their keys no longer match) instead of deserializing stale behaviour.
+BACKEND_VERSION = 4
+
+_ENV = "REPRO_SIM_CACHE"
+
+#: process-wide override; None defers to the environment, "" disables
+_configured: Optional[str] = None
+
+
+def cache_dir() -> Optional[str]:
+    """The active cache root, or None when the disk tier is disabled."""
+    if _configured is not None:
+        return _configured or None
+    return os.environ.get(_ENV) or None
+
+
+def configure(path: Optional[str]) -> Optional[str]:
+    """Set the process-wide cache root; returns the previous override.
+
+    ``None`` defers to ``REPRO_SIM_CACHE`` again; ``""`` disables the
+    cache even if the environment variable is set.  Evaluation stages
+    call this in pool workers so a run's cache directory survives
+    executor start methods that do not inherit the environment.
+    """
+    global _configured
+    previous = _configured
+    _configured = path
+    return previous
+
+
+def _key(kind: str, *parts: str) -> str:
+    digest = hashlib.sha256()
+    digest.update(repr((kind, BACKEND_VERSION)).encode("utf-8"))
+    for part in parts:
+        digest.update(b"\x1f")
+        digest.update(part.encode("utf-8"))
+    return digest.hexdigest()
+
+
+def _path_for(root: str, key: str) -> str:
+    # Two-level fan-out keeps directories small under large sweeps.
+    return os.path.join(root, key[:2], key + ".pkl")
+
+
+def load(kind: str, *parts: str) -> Optional[Any]:
+    """Fetch the artifact stored under ``(kind, *parts)``, or None.
+
+    Misses, a disabled cache, and unreadable entries all return None;
+    corrupt entries are deleted so they stop costing a read each time.
+    """
+    root = cache_dir()
+    if root is None:
+        return None
+    path = _path_for(root, _key(kind, *parts))
+    try:
+        with open(path, "rb") as handle:
+            return pickle.load(handle)
+    except FileNotFoundError:
+        return None
+    except Exception:
+        try:
+            os.remove(path)
+        except OSError:
+            pass
+        return None
+
+
+def store(kind: str, payload: Any, *parts: str) -> bool:
+    """Persist ``payload`` under ``(kind, *parts)``; True when written.
+
+    Atomic against concurrent writers of the same key (last replace
+    wins — both wrote identical content-addressed payloads).  Failures
+    (unpicklable payload, full disk, read-only root) are swallowed: the
+    cache is an accelerator, never a correctness dependency.
+    """
+    root = cache_dir()
+    if root is None:
+        return False
+    path = _path_for(root, _key(kind, *parts))
+    try:
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        fd, tmp_path = tempfile.mkstemp(
+            dir=os.path.dirname(path), suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.remove(tmp_path)
+            except OSError:
+                pass
+            raise
+    except Exception:
+        return False
+    return True
+
+
+def get_design(source: str, module_name: str) -> Optional[Design]:
+    """Disk-cached elaborated design for ``module_name`` in ``source``."""
+    design = load("design", source, module_name)
+    return design if isinstance(design, Design) else None
+
+
+def put_design(source: str, module_name: str, design: Design) -> bool:
+    """Persist an elaborated design keyed by its exact source text."""
+    return store("design", design, source, module_name)

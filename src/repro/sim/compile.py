@@ -1346,9 +1346,13 @@ class _Compiler:
 
     # -- top-level compile ---------------------------------------------------
 
+    def _new_image(self) -> CompiledDesign:
+        """Execution-image factory; the batch compiler returns its own."""
+        return CompiledDesign()
+
     def compile(self) -> CompiledDesign:
         design = self.design
-        cd = CompiledDesign()
+        cd = self._new_image()
         cd.design = design
         cd.n_signals = self.n_signals
         cd.slot_of = self.slot_of
@@ -1388,7 +1392,8 @@ class _Compiler:
         for block in design.seq_blocks:
             body = self._compile_stmt(block.body)
             if body is None:
-                def body(st, mems, o, mo, nba):  # noqa: E731 - empty block
+                # Extra args absorb the batch backend's lane predicate.
+                def body(st, mems, o, mo, nba, *_pred):  # noqa: E731
                     return None
             triggers = [
                 (1 if edge == "posedge" else 0, trigger_index[name])

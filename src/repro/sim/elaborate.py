@@ -93,10 +93,12 @@ class Design:
             raise ElaborationError(f"no signal named {name!r}") from None
 
     def __getstate__(self):
-        # The compiled-backend cache (repro.sim.compile) is closures and
-        # cannot pickle; designs shipped to pool workers recompile there.
+        # The compiled-backend caches (repro.sim.compile, repro.sim.batch)
+        # are closures and cannot pickle; designs shipped to pool workers
+        # recompile there (or hit the repro.sim.cache disk cache).
         state = dict(self.__dict__)
         state.pop("_compiled", None)
+        state.pop("_batch", None)
         return state
 
 

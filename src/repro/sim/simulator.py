@@ -45,7 +45,7 @@ from repro.sim.values import mask
 
 _MAX_LOOP_ITERS = 1 << 16
 
-BACKENDS = ("auto", "compiled", "interp")
+BACKENDS = ("auto", "compiled", "interp", "batch")
 
 _DEFAULT_BACKEND = os.environ.get("REPRO_SIM_BACKEND", "auto")
 
@@ -134,7 +134,7 @@ class Simulator:
     """
 
     def __new__(cls, design: Design, max_settle_rounds: Optional[int] = None,
-                backend: Optional[str] = None):
+                backend: Optional[str] = None, **kwargs):
         if cls is not Simulator:
             return object.__new__(cls)
         choice = backend or _DEFAULT_BACKEND
@@ -150,6 +150,24 @@ class Simulator:
             UncompilableDesign,
             compile_design,
         )
+        if choice == "batch":
+            # Scalar-fallback contract: designs the lane compiler cannot
+            # lower (not levelizable, too wide) run on the scalar
+            # backends instead, preserving error classification.
+            from repro.sim.batch import BatchSimulator, batch_design
+
+            try:
+                batch_design(design, kwargs.get("n_lanes", 1))
+            except UncompilableDesign as exc:
+                if "n_lanes" in kwargs:
+                    # An explicit lane request cannot be honoured by the
+                    # scalar backends (whose constructors do not take
+                    # n_lanes); surface the reason instead.
+                    raise SimulationError(
+                        f"design is not lane-parallelizable: {exc}"
+                    ) from None
+            else:
+                return object.__new__(BatchSimulator)
         try:
             compile_design(design)
         except UncompilableDesign as exc:

@@ -5,23 +5,32 @@ completion by simulating it against the problem's golden module under the
 same stimulus and comparing every output each cycle.  This module provides:
 
 * :class:`Testbench` — drive a single design with named clock/reset,
+* :class:`BatchTestbench` — drive N independent lanes of one design in
+  lockstep on the lane-parallel numpy backend (:mod:`repro.sim.batch`),
 * :func:`random_stimulus` — seeded random input vectors,
+* :func:`sweep_random_stimulus` — N seeded stimulus episodes at once,
+  lane-parallel when the design lowers, scalar replay otherwise,
 * :func:`equivalence_check` — lockstep golden-vs-candidate comparison.
 
-All three front the two-backend :class:`~repro.sim.simulator.Simulator`
-(compiled by default, interpreter as reference); pass ``backend=`` to pin
-one explicitly.  ``Testbench.drive`` applies a whole stimulus vector
-through :meth:`~repro.sim.simulator.Simulator.poke_many`, so one vector
-costs one combinational settle and one edge-detection pass regardless of
-how many inputs it carries.
+All front the multi-backend :class:`~repro.sim.simulator.Simulator`
+(compiled by default, interpreter as reference, lane-parallel ``batch``);
+pass ``backend=`` to pin one explicitly.  ``Testbench.drive`` applies a
+whole stimulus vector through
+:meth:`~repro.sim.simulator.Simulator.poke_many`, so one vector costs one
+combinational settle and one edge-detection pass regardless of how many
+inputs it carries.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.errors import SimulationError
+from repro.sim.batch import BatchSimulator, UnbatchableDesign
+from repro.sim.compile import UncompilableDesign
 from repro.sim.elaborate import Design, elaborate
 from repro.sim.simulator import Simulator
 from repro.sim.values import mask
@@ -50,7 +59,7 @@ class Testbench:
         backend: Optional[str] = None,
     ) -> None:
         self.design = design
-        self.sim = Simulator(design, backend=backend)
+        self.sim = self._make_simulator(design, backend)
         input_names = {s.name for s in design.inputs}
         if clock is not None and clock not in input_names:
             clock = None  # combinational design; tolerate a missing clock
@@ -66,6 +75,11 @@ class Testbench:
             s.name for s in design.inputs if s.name not in special
         ]
         self._output_names = [s.name for s in design.outputs]
+
+    def _make_simulator(self, design: Design,
+                        backend: Optional[str]) -> Simulator:
+        """Backend-selection hook (BatchTestbench builds lane sims)."""
+        return Simulator(design, backend=backend)
 
     @property
     def input_names(self) -> List[str]:
@@ -136,6 +150,196 @@ def random_stimulus(
         {name: rng.randint(0, hi) for name, hi in spans}
         for _ in range(cycles)
     ]
+
+
+class BatchTestbench(Testbench):
+    """Synchronous harness stepping ``n_lanes`` episodes in lockstep.
+
+    Same protocol as :class:`Testbench` (clock/reset resolution, batched
+    ``drive``, ``step = drive + tick + sample``) but the simulator is a
+    lane-parallel :class:`~repro.sim.batch.BatchSimulator`: every poke
+    value may be an int (broadcast to all lanes) or a per-lane int64
+    array, and ``sample`` returns per-lane arrays.  Construction raises
+    :class:`~repro.sim.batch.UnbatchableDesign` when the design cannot be
+    lane-lowered — callers fall back to N scalar benches (see
+    :func:`sweep_random_stimulus`, which automates exactly that).
+    """
+
+    def __init__(
+        self,
+        design: Design,
+        n_lanes: int,
+        clock: Optional[str] = "clk",
+        reset: Optional[str] = None,
+        reset_active_high: bool = True,
+    ) -> None:
+        self.n_lanes = n_lanes  # read by _make_simulator during super init
+        super().__init__(design, clock, reset, reset_active_high)
+
+    def _make_simulator(self, design: Design,
+                        backend: Optional[str]) -> BatchSimulator:
+        return BatchSimulator(design, n_lanes=self.n_lanes)
+
+    def sample(self) -> Dict[str, np.ndarray]:
+        """Per-lane output arrays after combinational settle."""
+        peek_lanes = self.sim.peek_lanes
+        return {name: peek_lanes(name) for name in self._output_names}
+
+
+@dataclass
+class SweepResult:
+    """Per-lane outcomes of a multi-seed stimulus sweep.
+
+    ``traces[lane]`` is one output tuple per completed cycle, aligned to
+    ``output_names``; ``errors[lane]`` carries the lane's
+    ``SimulationError`` message (with a truncated trace) when the episode
+    failed.  ``vectorized`` records whether the lane-parallel backend ran
+    the sweep or the scalar replay did — outcomes are identical either
+    way, which ``tests/test_sim_batch.py`` enforces.
+    """
+
+    seeds: Tuple[int, ...]
+    output_names: Tuple[str, ...]
+    traces: List[List[Tuple[int, ...]]]
+    errors: List[Optional[str]]
+    vectorized: bool
+
+    def lane(self, index: int) -> List[Dict[str, int]]:
+        """Materialize one lane's trace as per-cycle output dicts."""
+        return [
+            dict(zip(self.output_names, row)) for row in self.traces[index]
+        ]
+
+    @property
+    def ok(self) -> bool:
+        return all(error is None for error in self.errors)
+
+
+def sweep_random_stimulus(
+    design: Design,
+    cycles: int,
+    seeds: Sequence[int],
+    clock: Optional[str] = "clk",
+    reset: Optional[str] = None,
+    reset_active_high: bool = True,
+    exclude: Sequence[str] = ("clk", "rst", "rst_n", "reset", "resetn"),
+    backend: Optional[str] = None,
+    stimuli: Optional[Sequence[Sequence[StimulusVector]]] = None,
+) -> SweepResult:
+    """Run one seeded :func:`random_stimulus` episode per lane.
+
+    With ``backend`` ``None`` or ``"batch"`` the sweep runs all episodes
+    in lockstep on the lane-parallel backend; designs that cannot lane
+    lower — or a lane that hits a construct int64 lanes cannot represent
+    (:class:`~repro.sim.batch.BatchDivergence`) — transparently replay on
+    the scalar backend, so per-lane results (values *and* error
+    classification) always match a lane-by-lane scalar run.  Pass
+    ``backend="compiled"``/``"interp"``/``"auto"`` to force the scalar
+    path, which is how the differential tests build their reference.
+
+    ``stimuli`` supplies one pre-generated episode (a vector list) per
+    lane instead of deriving them from ``seeds`` — for custom stimulus
+    programs, or to amortize generation across repeated sweeps.
+    """
+    seeds = tuple(seeds)
+    if not seeds:
+        return SweepResult(
+            seeds=(), output_names=tuple(s.name for s in design.outputs),
+            traces=[], errors=[], vectorized=False,
+        )
+    lockstep = True
+    if stimuli is None:
+        stimuli = [
+            random_stimulus(design, cycles, seed, exclude) for seed in seeds
+        ]
+    else:
+        if len(stimuli) != len(seeds):
+            raise ValueError(
+                "stimuli must supply exactly one episode per lane"
+            )
+        stimuli = [list(episode) for episode in stimuli]
+        # Lanes step in lockstep; ragged episode lengths can only run on
+        # the scalar path (which the fallback below is anyway).
+        lockstep = len({len(episode) for episode in stimuli}) <= 1
+    if lockstep and backend in (None, "batch"):
+        try:
+            return _sweep_lanes(
+                design, stimuli, seeds, clock, reset, reset_active_high
+            )
+        except (UncompilableDesign, SimulationError):
+            pass  # scalar replay preserves per-lane verdicts exactly
+    scalar_backend = None if backend in (None, "batch") else backend
+    return _sweep_scalar(
+        design, stimuli, seeds, clock, reset, reset_active_high,
+        scalar_backend,
+    )
+
+
+def _sweep_lanes(design, stimuli, seeds, clock, reset,
+                 reset_active_high) -> SweepResult:
+    n_lanes = len(seeds)
+    bench = BatchTestbench(
+        design, n_lanes, clock, reset, reset_active_high
+    )
+    bench.apply_reset()
+    names = tuple(bench.output_names)
+    traces: List[List[Tuple[int, ...]]] = [[] for _ in seeds]
+    input_names = list(stimuli[0][0]) if stimuli and stimuli[0] else []
+    for cycle in range(len(stimuli[0]) if stimuli else 0):
+        vector = {
+            name: np.fromiter(
+                (stimuli[lane][cycle][name] for lane in range(n_lanes)),
+                dtype=np.int64,
+                count=n_lanes,
+            )
+            for name in input_names
+        }
+        outputs = bench.step(vector)
+        if names:
+            rows = np.stack([outputs[name] for name in names], axis=1)
+            for lane, row in enumerate(rows.tolist()):
+                traces[lane].append(tuple(row))
+        else:
+            for lane in range(n_lanes):
+                traces[lane].append(())
+    return SweepResult(
+        seeds=seeds,
+        output_names=names,
+        traces=traces,
+        errors=[None] * n_lanes,
+        vectorized=True,
+    )
+
+
+def _sweep_scalar(design, stimuli, seeds, clock, reset, reset_active_high,
+                  backend) -> SweepResult:
+    names = tuple(s.name for s in design.outputs)
+    traces: List[List[Tuple[int, ...]]] = []
+    errors: List[Optional[str]] = []
+    for stimulus in stimuli:
+        trace: List[Tuple[int, ...]] = []
+        error: Optional[str] = None
+        try:
+            bench = Testbench(
+                design, clock, reset, reset_active_high, backend=backend
+            )
+            bench.apply_reset()
+            peek = bench.sim.peek
+            for vector in stimulus:
+                bench.drive(vector)
+                bench.tick()
+                trace.append(tuple(peek(name) for name in names))
+        except SimulationError as exc:
+            error = str(exc)
+        traces.append(trace)
+        errors.append(error)
+    return SweepResult(
+        seeds=tuple(seeds),
+        output_names=names,
+        traces=traces,
+        errors=errors,
+        vectorized=False,
+    )
 
 
 @dataclass

@@ -20,8 +20,12 @@ Since the evalkit refactor this module plays two roles:
 
 from __future__ import annotations
 
+import os
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.errors import ElaborationError, LexError, ParseError, SimulationError
 from repro.llm.model import LanguageModel
@@ -32,10 +36,15 @@ from repro.sim import (
     interface_signature,
     random_stimulus,
 )
+from repro.sim import cache as sim_cache
 from repro.utils.rng import DeterministicRNG
 from repro.verilog import parse_source_fast
 from repro.vereval.passk import mean_pass_at_k
 from repro.vereval.problems import EvalProblem
+
+#: kill switch for the combinational all-vectors fast path (used by the
+#: differential tests and benchmarks to time the scalar loop)
+BATCH_CHECK_ENABLED = os.environ.get("REPRO_SIM_BATCH_CHECK", "1") != "0"
 
 
 @dataclass
@@ -86,16 +95,19 @@ class EvalResult:
 class _GoldenRef:
     """Per-problem golden artifacts, derived once and reused per sample.
 
-    ``trace`` holds the golden module's output vector for every stimulus
-    cycle under the exact reset/clock protocol of
-    :func:`repro.sim.equivalence_check`; a candidate is then simulated
-    alone and compared cycle-by-cycle against the trace, which is
-    verdict-identical to lockstep simulation of both designs but does the
-    golden half of the work once per problem instead of once per sample.
+    ``trace`` holds one tuple of golden output values per stimulus cycle,
+    aligned to the frozen ``output_names`` tuple, recorded under the
+    exact reset/clock protocol of :func:`repro.sim.equivalence_check`; a
+    candidate is then simulated alone and its output tuples compared
+    against the trace, which is verdict-identical to lockstep simulation
+    of both designs but does the golden half of the work once per problem
+    instead of once per sample — and compares flat tuples instead of
+    iterating per-cycle dicts in the innermost check loop.
     """
 
     __slots__ = (
-        "design", "signature", "stimulus", "trace", "error", "error_phase"
+        "design", "signature", "stimulus", "output_names", "trace",
+        "error", "error_phase",
     )
 
     def __init__(self, problem: EvalProblem) -> None:
@@ -106,11 +118,12 @@ class _GoldenRef:
         self.stimulus = random_stimulus(
             self.design, problem.stimulus_cycles, seed=problem.stimulus_seed
         )
-        #: per-cycle golden outputs; cut short when the golden simulation
-        #: itself errors, with the message and the phase it failed in
-        #: recorded so candidates observe the exact verdict lockstep
-        #: simulation would have produced
-        self.trace: List[Dict[str, int]] = []
+        #: per-cycle golden output tuples; cut short when the golden
+        #: simulation itself errors, with the message and the phase it
+        #: failed in recorded so candidates observe the exact verdict
+        #: lockstep simulation would have produced
+        self.output_names: Tuple[str, ...] = ()
+        self.trace: List[Tuple[int, ...]] = []
         self.error: Optional[str] = None
         self.error_phase: str = ""  # "" | "construct" | "reset" | "step"
         interface = problem.module.interface
@@ -122,11 +135,17 @@ class _GoldenRef:
                 reset=interface.reset,
                 reset_active_high=interface.reset_active_high,
             )
+            self.output_names = tuple(bench.output_names)
             phase = "reset"
             bench.apply_reset()
             phase = "step"
+            peek = bench.sim.peek
             for vector in self.stimulus:
-                self.trace.append(bench.step(vector))
+                bench.drive(vector)
+                bench.tick()
+                self.trace.append(
+                    tuple(peek(name) for name in self.output_names)
+                )
         except SimulationError as exc:
             self.error = str(exc)
             self.error_phase = phase
@@ -135,9 +154,29 @@ class _GoldenRef:
 #: golden artifacts keyed by problem identity *and* content (including
 #: the clock/reset protocol the trace was recorded under), so a problem
 #: object rebuilt with the same data hits the cache while a redefined one
-#: cannot alias a stale entry
-_GOLDEN_CACHE: Dict[Tuple, _GoldenRef] = {}
+#: cannot alias a stale entry; LRU-ordered so sweeps wider than the
+#: capacity evict the coldest problem instead of thrashing to zero
+_GOLDEN_CACHE: "OrderedDict[Tuple, _GoldenRef]" = OrderedDict()
 _GOLDEN_CACHE_MAX = 256
+
+
+def _golden_disk_key(problem: EvalProblem) -> Tuple[str, ...]:
+    """Content-addressed disk key parts (identity-free: same source +
+    protocol means the same artifact regardless of problem_id)."""
+    interface = problem.module.interface
+    return (
+        problem.golden_source,
+        problem.module.name,
+        repr(
+            (
+                problem.stimulus_cycles,
+                problem.stimulus_seed,
+                interface.clock,
+                interface.reset,
+                interface.reset_active_high,
+            )
+        ),
+    )
 
 
 def _golden_ref(problem: EvalProblem) -> _GoldenRef:
@@ -153,12 +192,88 @@ def _golden_ref(problem: EvalProblem) -> _GoldenRef:
         problem.golden_source,
     )
     ref = _GOLDEN_CACHE.get(key)
-    if ref is None:
-        if len(_GOLDEN_CACHE) >= _GOLDEN_CACHE_MAX:
-            _GOLDEN_CACHE.clear()
+    if ref is not None:
+        _GOLDEN_CACHE.move_to_end(key)
+        return ref
+    disk_key = _golden_disk_key(problem)
+    ref = sim_cache.load("golden-ref", *disk_key)
+    if not isinstance(ref, _GoldenRef):
         ref = _GoldenRef(problem)
-        _GOLDEN_CACHE[key] = ref
+        sim_cache.store("golden-ref", ref, *disk_key)
+    while len(_GOLDEN_CACHE) >= _GOLDEN_CACHE_MAX:
+        _GOLDEN_CACHE.popitem(last=False)
+    _GOLDEN_CACHE[key] = ref
     return ref
+
+
+def _check_all_vectors_batch(
+    ref: _GoldenRef, candidate, problem: EvalProblem
+) -> Optional[EquivalenceResult]:
+    """Combinational fast path: every stimulus vector rides its own lane.
+
+    Valid only when the problem is unclocked and the candidate carries no
+    sequential state at all (no edge blocks, no memory writes from the
+    combinational region): outputs are then a pure function of the
+    current inputs, so N per-cycle scalar steps collapse into one
+    lane-parallel settle.  Returns None — caller takes the scalar loop —
+    whenever the preconditions fail, the candidate does not lane-lower,
+    or a lane diverges; the verdict (including first-mismatch
+    bookkeeping) is identical either way.
+    """
+    from repro.sim import default_backend
+
+    interface = problem.module.interface
+    if (
+        not BATCH_CHECK_ENABLED
+        # An explicitly pinned interpreter backend is a ground-truth run;
+        # it must not silently route through the lane-parallel backend.
+        or default_backend() == "interp"
+        or interface.clock is not None
+        or ref.error is not None
+        or not ref.stimulus
+        or not ref.output_names
+    ):
+        return None
+    from repro.sim.batch import BatchSimulator, batch_design, is_stateless_comb
+    from repro.sim.compile import UncompilableDesign
+
+    n_lanes = len(ref.stimulus)
+    try:
+        if not is_stateless_comb(batch_design(candidate, n_lanes)):
+            return None
+        expected = np.array(ref.trace, dtype=np.int64)
+        sim = BatchSimulator(candidate, n_lanes=n_lanes)
+        vector: Dict[str, object] = {}
+        reset = interface.reset
+        if reset is not None and any(
+            s.name == reset for s in candidate.inputs
+        ):
+            # Net effect of apply_reset on a stateless design: the reset
+            # input rests at its deasserted level.
+            vector[reset] = 0 if interface.reset_active_high else 1
+        for name in ref.stimulus[0]:
+            vector[name] = np.fromiter(
+                (v[name] for v in ref.stimulus), dtype=np.int64, count=n_lanes
+            )
+        sim.poke_many(vector)
+        actual = np.stack(
+            [sim.peek_lanes(name) for name in ref.output_names], axis=1
+        )
+    except (UncompilableDesign, SimulationError, OverflowError, ValueError):
+        return None
+    mismatched = expected != actual
+    if not mismatched.any():
+        return EquivalenceResult(equivalent=True, cycles_run=n_lanes)
+    cycle = int(np.argmax(mismatched.any(axis=1)))
+    out_index = int(np.argmax(mismatched[cycle]))
+    return EquivalenceResult(
+        equivalent=False,
+        cycles_run=cycle + 1,
+        first_mismatch_cycle=cycle,
+        mismatched_output=ref.output_names[out_index],
+        expected=int(expected[cycle, out_index]),
+        actual=int(actual[cycle, out_index]),
+    )
 
 
 def _check_against_trace(
@@ -170,7 +285,9 @@ def _check_against_trace(
     interface gate, error precedence (the golden design steps first each
     cycle, so a golden simulation error at cycle ``c`` preempts both the
     candidate's step and the output comparison at ``c``), and the
-    first-mismatch bookkeeping are all preserved.
+    first-mismatch bookkeeping are all preserved.  Combinational
+    stateless candidates take the lane-parallel all-vectors fast path
+    (:func:`_check_all_vectors_batch`) with the identical verdict.
     """
     if ref.signature != interface_signature(candidate):
         return EquivalenceResult(
@@ -188,7 +305,11 @@ def _check_against_trace(
     # failed first in lockstep supplies the error string here too.
     if ref.error_phase == "construct":
         return EquivalenceResult(equivalent=False, error=ref.error)
+    fast = _check_all_vectors_batch(ref, candidate, problem)
+    if fast is not None:
+        return fast
     interface = problem.module.interface
+    names = ref.output_names
     try:
         bench = Testbench(
             candidate,
@@ -199,22 +320,28 @@ def _check_against_trace(
         if ref.error_phase == "reset":
             return EquivalenceResult(equivalent=False, error=ref.error)
         bench.apply_reset()
+        peek = bench.sim.peek
+        trace = ref.trace
         for cycle, vector in enumerate(ref.stimulus):
-            if cycle >= len(ref.trace):
+            if cycle >= len(trace):
                 return EquivalenceResult(equivalent=False, error=ref.error)
-            expected_outputs = ref.trace[cycle]
-            actual_outputs = bench.step(vector)
-            for name, expected in expected_outputs.items():
-                actual = actual_outputs.get(name)
-                if actual != expected:
-                    return EquivalenceResult(
-                        equivalent=False,
-                        cycles_run=cycle + 1,
-                        first_mismatch_cycle=cycle,
-                        mismatched_output=name,
-                        expected=expected,
-                        actual=actual,
-                    )
+            bench.drive(vector)
+            bench.tick()
+            # The interface gate guarantees the candidate presents every
+            # golden output, so peeking by golden name order is total.
+            actual = tuple(peek(name) for name in names)
+            expected = trace[cycle]
+            if actual != expected:
+                for index, name in enumerate(names):
+                    if actual[index] != expected[index]:
+                        return EquivalenceResult(
+                            equivalent=False,
+                            cycles_run=cycle + 1,
+                            first_mismatch_cycle=cycle,
+                            mismatched_output=name,
+                            expected=expected[index],
+                            actual=actual[index],
+                        )
     except SimulationError as exc:
         return EquivalenceResult(equivalent=False, error=str(exc))
     return EquivalenceResult(equivalent=True, cycles_run=len(ref.stimulus))
@@ -228,20 +355,30 @@ def check_candidate_source(
     Returns (passed, failure_reason); reason is "" on success.  Parsing
     failures are classified ``syntax`` only for actual lexer/parser
     errors; any other exception is a harness bug and surfaces as
-    ``internal`` instead of being miscounted as a model failure.
+    ``internal`` instead of being miscounted as a model failure.  When
+    the :mod:`repro.sim.cache` disk tier is enabled, successfully
+    elaborated candidates are persisted by source hash, so duplicate
+    completions in other pool workers (and later runs) skip
+    lex/parse/elaborate entirely — a cache hit implies the source parsed
+    and the module existed, so the verdict classification is unchanged.
     """
-    try:
-        candidate_file = parse_source_fast(candidate_source)
-    except (LexError, ParseError):
-        return False, "syntax"
-    except Exception:
-        return False, "internal"
     name = problem.module.name
-    if candidate_file.module(name) is None:
-        return False, "missing_module"
+    candidate = sim_cache.get_design(candidate_source, name)
+    candidate_file = None
+    if candidate is None:
+        try:
+            candidate_file = parse_source_fast(candidate_source)
+        except (LexError, ParseError):
+            return False, "syntax"
+        except Exception:
+            return False, "internal"
+        if candidate_file.module(name) is None:
+            return False, "missing_module"
     try:
         ref = _golden_ref(problem)
-        candidate = elaborate(candidate_file, name)
+        if candidate is None:
+            candidate = elaborate(candidate_file, name)
+            sim_cache.put_design(candidate_source, name, candidate)
     except ElaborationError:
         return False, "elaboration"
     try:

@@ -329,7 +329,7 @@ class TestBackendSelection:
         golden = build(source, "m")
         candidate = build(source, "m")
         stim = random_stimulus(golden, 16, seed=1)
-        for backend in ("compiled", "interp"):
+        for backend in ("compiled", "interp", "batch"):
             assert equivalence_check(
                 golden, candidate, stim, clock=None, backend=backend
             ).equivalent
