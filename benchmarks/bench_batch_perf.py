@@ -10,6 +10,13 @@ Claims, measured at bench scale:
   problem riding its own lane in one settle sweep
   (``_check_all_vectors_batch``) — beats the scalar per-cycle check loop
   by >=2x with identical verdicts;
+* **lockstep sequential pass@k checking** — N candidate completions of
+  one clocked problem simulating one lane each under the shared golden
+  stimulus (:func:`repro.vereval.check_candidates_lockstep`), with
+  structural grouping, AST-level compile sharing, mismatch retirement,
+  and dirty-level skipping — beats checking the same candidates one at
+  a time on the scalar path by >=2x end to end (parse + elaborate +
+  compile + simulate + verdict), candidate-for-candidate identical;
 * a pool-worker-shaped evaluation run (fresh in-process caches, golden
   elaboration + trace + duplicate candidate checks) with a warm
   :mod:`repro.sim.cache` directory runs >=1.5x faster than the same run
@@ -28,9 +35,10 @@ from repro.sim import elaborate, random_stimulus, sweep_random_stimulus
 from repro.sim import cache as sim_cache
 from repro.sim.batch import batch_design, is_stateless_comb
 from repro.utils.rng import DeterministicRNG
-from repro.vereval import build_problem_set
+from repro.vereval import build_problem_set, check_candidates_lockstep
 from repro.vereval.problems import EvalProblem
 from repro.vgen import generate_family
+from repro.vgen.base import GeneratedModule, ModuleInterface
 from repro.verilog import parse_source
 
 import repro.vereval.harness as harness
@@ -42,6 +50,8 @@ _SWEEP_CYCLES = 96
 _COMB_CYCLES = 384
 _POOL_PROBLEMS = 12
 _POOL_DUPLICATES = 3
+_LOCKSTEP_CANDIDATES = 48
+_LOCKSTEP_CYCLES = 384  # the production stimulus depth bench_sim_perf uses
 
 
 def _timed(fn, repeats=2):
@@ -176,6 +186,136 @@ def test_combinational_all_vectors_speedup():
     )
     assert speedup >= 2.0, (
         f"all-vectors checking only {speedup:.2f}x faster than the loop"
+    )
+
+
+_LOCKSTEP_DUT = """module lockstep_dut(
+  input clk, input rst, input [7:0] a, input [7:0] b,
+  output reg [15:0] acc, output [7:0] mix);
+  reg [7:0] stage;
+  reg [7:0] window [0:7];
+  reg [2:0] wptr;
+  wire [8:0] sum;
+  integer i;
+  assign sum = {OP_SUM};
+  assign mix = stage ^ ({OP_MIX}) ^ window[wptr];
+  always @(posedge clk) begin
+    if (rst) begin
+      acc <= 16'd0; stage <= 8'd0; wptr <= 3'd0;
+      for (i = 0; i < 8; i = i + 1) window[i] <= 8'd0;
+    end else begin
+      stage <= {OP_STAGE};
+      window[wptr] <= {OP_WIN};
+      wptr <= wptr + 3'd1;
+      acc <= acc + {7'b0, sum};
+    end
+  end
+endmodule
+"""
+
+
+def _lockstep_variant(op_sum="a + b", op_mix="a & b", op_stage="a ^ b",
+                      op_win="a | b"):
+    return (
+        _LOCKSTEP_DUT.replace("{OP_SUM}", op_sum)
+        .replace("{OP_MIX}", op_mix)
+        .replace("{OP_STAGE}", op_stage)
+        .replace("{OP_WIN}", op_win)
+    )
+
+
+def _lockstep_problem():
+    module = GeneratedModule(
+        family="bench",
+        source=_lockstep_variant(),
+        interface=ModuleInterface(
+            module_name="lockstep_dut", clock="clk", reset="rst",
+            reset_active_high=True,
+            inputs=[("a", 8), ("b", 8)],
+            outputs=[("acc", 16), ("mix", 8)],
+        ),
+        description="sequential lockstep pass@k benchmark DUT",
+    )
+    return EvalProblem(
+        problem_id="lockstep_bench", module=module,
+        stimulus_cycles=_LOCKSTEP_CYCLES, stimulus_seed=11,
+    )
+
+
+def _lockstep_candidates(count):
+    """A low-temperature-shaped candidate pool for one problem.
+
+    Three passing structural variants (commuted operands — distinct
+    ASTs, same schedule shape) plus the golden, two failing mutations,
+    and comment-only resamples of all of them: many texts, few
+    structures, a 3:1 pass:fail ratio — the regime sequential pass@k
+    checking actually sees.
+    """
+    passing = [
+        _lockstep_variant(),
+        _lockstep_variant("b + a"),
+        _lockstep_variant(op_mix="b & a"),
+        _lockstep_variant(op_stage="b ^ a"),
+    ]
+    failing = [
+        _lockstep_variant(op_sum="a - b"),
+        _lockstep_variant(op_win="a ^ b"),
+    ]
+    sources = []
+    for index in range(count):
+        if index % 4 == 3:
+            base = failing[index % 2]
+        else:
+            base = passing[index % 4]
+        if index >= 6:
+            base = base + f"\n// resample {index}\n"
+        sources.append(base)
+    return sources
+
+
+def test_sequential_lockstep_passk_speedup():
+    problem = _lockstep_problem()
+    sources = _lockstep_candidates(_LOCKSTEP_CANDIDATES)
+    harness._golden_ref(problem)  # golden artifacts shared by both paths
+
+    def check_all(enabled):
+        previous = harness.LOCKSTEP_CHECK_ENABLED
+        harness.LOCKSTEP_CHECK_ENABLED = enabled
+        try:
+            # End to end per candidate: parse + elaborate + compile +
+            # simulate + verdict (no disk cache, fresh designs per run).
+            return check_candidates_lockstep(problem, sources)
+        finally:
+            harness.LOCKSTEP_CHECK_ENABLED = previous
+
+    lockstep_verdicts = check_all(True)
+    scalar_verdicts = check_all(False)
+    assert lockstep_verdicts == scalar_verdicts  # candidate-for-candidate
+    assert lockstep_verdicts == [
+        harness.check_candidate_source(problem, source) for source in sources
+    ]
+    passes = sum(1 for passed, _ in lockstep_verdicts if passed)
+    assert 0 < passes < len(sources)
+
+    lockstep_seconds, _ = _timed(lambda: check_all(True), repeats=3)
+    scalar_seconds, _ = _timed(lambda: check_all(False), repeats=3)
+    speedup = scalar_seconds / lockstep_seconds
+    checks = _LOCKSTEP_CANDIDATES * _LOCKSTEP_CYCLES
+    write_result(
+        "batch_lockstep_passk_speedup",
+        f"sequential pass@k checking, {_LOCKSTEP_CANDIDATES} candidates x "
+        f"{_LOCKSTEP_CYCLES} stimulus cycles = {checks} candidate-cycles "
+        f"({passes} pass)\n"
+        f"scalar per-candidate loop:  {scalar_seconds:8.3f} s"
+        f"  ({checks / scalar_seconds:10.0f} candidate-cycles/s)\n"
+        f"lockstep lanes:             {lockstep_seconds:8.3f} s"
+        f"  ({checks / lockstep_seconds:10.0f} candidate-cycles/s)\n"
+        f"speedup:                    {speedup:8.2f} x\n"
+        f"(verdicts candidate-for-candidate identical, end to end: parse + "
+        f"elaborate + compile + simulate + verdict)",
+    )
+    assert speedup >= 2.0, (
+        f"lockstep checking only {speedup:.2f}x faster than the scalar loop"
     )
 
 

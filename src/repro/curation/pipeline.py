@@ -7,6 +7,20 @@ derives the paper's :class:`FunnelReport` from the engine's per-stage
 metrics.  Output (kept files and funnel counts) is identical to the
 seed's serial loop; execution is chunked, streamable, and optionally
 parallel.
+
+Example (runnable; the same block in ``docs/architecture.md`` is
+executed by ``tools/check_docs.py``)::
+
+    from repro.curation import CurationConfig, CurationPipeline
+    from repro.github import (
+        GitHubScraper, SimulatedGitHubAPI, WorldConfig, generate_world,
+    )
+
+    api = SimulatedGitHubAPI(generate_world(WorldConfig(n_repos=30)))
+    dataset = CurationPipeline(CurationConfig()).run(
+        GitHubScraper(api).scrape()
+    )
+    print(dataset.funnel.to_text())
 """
 
 from __future__ import annotations

@@ -14,6 +14,30 @@ Runs checkpoint through :class:`~repro.engine.CheckpointStore`: the
 snapshot carries the engine's progress counter plus every checked record,
 so a killed sweep resumes mid-problem and completes with a
 :class:`~repro.evalkit.RunResult` identical to an uninterrupted run.
+
+Checking is chunk-batched: :class:`~repro.evalkit.stages.CheckStage`
+hands each chunk's records to their task's checker together, so pass@k
+candidates of one problem simulate in lockstep (one lane per candidate,
+see :func:`repro.vereval.check_candidates_lockstep`) before pool
+fan-out.
+
+Example (runnable; ``docs/architecture.md`` carries the resumable
+variant, executed by ``tools/check_docs.py``)::
+
+    from repro.evalkit import EvalPlan, PassAtKTask
+    from repro.llm import LanguageModel
+    from repro.vereval import EvalConfig, build_problem_set
+
+    model = LanguageModel.pretrain("demo", [
+        "module m(input a, output y); assign y = ~a; endmodule",
+    ] * 4)
+    task = PassAtKTask(
+        build_problem_set(n_problems=2),
+        EvalConfig(n_samples=2, ks=(1,), temperatures=(0.4,),
+                   max_new_tokens=64),
+    )
+    run = EvalPlan([model], [task]).run()
+    print(run.result(model.name, task.task_id).summary())
 """
 
 from __future__ import annotations

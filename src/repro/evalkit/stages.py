@@ -110,12 +110,23 @@ class GenerationStage(MapStage):
 class CheckStage(MapStage):
     """Score each completion via its task's checker (the hot stage).
 
+    Chunks are checked *per task, per chunk* rather than per record:
+    when a checker exposes ``check_batch`` (see
+    :class:`~repro.evalkit.tasks.PassAtKChecker`), all of the chunk's
+    records for that task are handed over together, which lets pass@k
+    candidates of one problem simulate **in lockstep** — one
+    lane-parallel run per group of structurally compatible candidates —
+    before the pool fans the chunks out.  Checkers without a batch entry
+    point keep the per-record ``check`` path; either way the output is
+    1:1 and order-preserving, with verdicts identical to a per-record
+    loop.
+
     Captures the active :mod:`repro.sim.cache` directory at construction
     and re-activates it after unpickling, so process-pool workers share
-    the run's persistent compile cache (golden artifacts and duplicate
-    candidate elaborations hit disk instead of re-lexing/re-parsing)
-    even under executor start methods that do not inherit the parent's
-    environment.
+    the run's persistent compile cache (golden artifacts, duplicate
+    candidate elaborations, and lockstep grouping digests hit disk
+    instead of being rederived) even under executor start methods that
+    do not inherit the parent's environment.
     """
 
     name = "eval_check"
@@ -132,6 +143,23 @@ class CheckStage(MapStage):
 
     def map_item(self, record: SampleRecord) -> SampleRecord:
         return self.checkers[record.task_id].check(record)
+
+    def process(self, chunk: Sequence[SampleRecord]) -> List[SampleRecord]:
+        by_task: Dict[str, List[int]] = {}
+        for index, record in enumerate(chunk):
+            by_task.setdefault(record.task_id, []).append(index)
+        results: List[SampleRecord] = [None] * len(chunk)  # type: ignore
+        for task_id, indices in by_task.items():
+            checker = self.checkers[task_id]
+            check_batch = getattr(checker, "check_batch", None)
+            if check_batch is not None:
+                checked = check_batch([chunk[i] for i in indices])
+                for index, record in zip(indices, checked):
+                    results[index] = record
+            else:
+                for index in indices:
+                    results[index] = checker.check(chunk[index])
+        return results
 
     def __setstate__(self, state):
         self.__dict__.update(state)

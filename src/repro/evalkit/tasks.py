@@ -33,6 +33,7 @@ from repro.vereval.harness import (
     EvalResult,
     ProblemOutcome,
     check_candidate_source,
+    check_candidates_lockstep,
 )
 from repro.vereval.passk import mean_pass_at_k
 from repro.vereval.problems import EvalProblem
@@ -95,6 +96,14 @@ class PassAtKChecker:
     fused phase (the executor pickles stages per phase, not per chunk);
     the golden parse/elaboration/trace cache in
     :mod:`repro.vereval.harness` then fills per worker, once per problem.
+
+    :meth:`check_batch` is the chunk-level entry point
+    :class:`~repro.evalkit.stages.CheckStage` prefers: all distinct
+    completions of one problem inside a chunk check together through
+    :func:`~repro.vereval.harness.check_candidates_lockstep`, so
+    sequential candidates with compatible compiled shapes simulate in
+    lockstep (one lane per candidate) instead of one at a time — with
+    verdicts identical to :meth:`check` per record.
     """
 
     _VERDICT_CACHE_MAX = 8192
@@ -106,19 +115,60 @@ class PassAtKChecker:
         #: verbatim, so duplicate samples skip parse+simulate entirely
         self._verdicts: Dict[Tuple[int, str], Tuple[bool, str]] = {}
 
+    def _memoize(self, key: Tuple[int, str],
+                 verdict: Tuple[bool, str]) -> None:
+        if len(self._verdicts) >= self._VERDICT_CACHE_MAX:
+            self._verdicts.clear()
+        self._verdicts[key] = verdict
+
     def check(self, record: SampleRecord) -> SampleRecord:
         key = (record.unit_index, record.completion)
         verdict = self._verdicts.get(key)
         if verdict is None:
-            if len(self._verdicts) >= self._VERDICT_CACHE_MAX:
-                self._verdicts.clear()
             verdict = check_candidate_source(
                 self.problems[record.unit_index],
                 record.prompt + record.completion,
             )
-            self._verdicts[key] = verdict
+            self._memoize(key, verdict)
         record.passed, record.failure_reason = verdict
         return record
+
+    def check_batch(self, records: Sequence[SampleRecord]):
+        """Verdicts for a whole chunk, lockstep-grouped per problem.
+
+        Equivalent to ``[self.check(r) for r in records]`` (same memo,
+        same verdicts, same order) but unmemoized completions of one
+        problem are checked as one lockstep batch.
+        """
+        records = list(records)
+        # Snapshot the verdicts this chunk needs before inserting fresh
+        # ones: a memo-capacity clear mid-batch must not lose them.
+        needed: Dict[Tuple[int, str], Tuple[bool, str]] = {}
+        fresh: Dict[int, Dict[Tuple[int, str], str]] = {}
+        for record in records:
+            key = (record.unit_index, record.completion)
+            if key in needed:
+                continue
+            verdict = self._verdicts.get(key)
+            if verdict is not None:
+                needed[key] = verdict
+            else:
+                fresh.setdefault(record.unit_index, {})[key] = (
+                    record.prompt + record.completion
+                )
+        for unit_index, by_key in fresh.items():
+            keys = list(by_key)
+            verdicts = check_candidates_lockstep(
+                self.problems[unit_index], [by_key[k] for k in keys]
+            )
+            for key, verdict in zip(keys, verdicts):
+                needed[key] = verdict
+                self._memoize(key, verdict)
+        for record in records:
+            record.passed, record.failure_reason = needed[
+                (record.unit_index, record.completion)
+            ]
+        return records
 
     def __getstate__(self):
         # Worker processes build their own memo; don't ship it.

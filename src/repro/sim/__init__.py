@@ -63,11 +63,22 @@ module for the key scheme), which evaluation pool workers use to skip
 re-lexing/re-parsing/re-elaborating golden and duplicate candidate
 modules.
 
+The lanes axis can also run over *candidate designs* instead of stimulus
+streams: :func:`~repro.sim.batch.build_lockstep_group` batches
+structurally compatible designs (grouped by
+:func:`~repro.sim.batch.lockstep_shape_digest`) into a
+:class:`~repro.sim.batch.LockstepSimulator` that steps one candidate per
+lane under one shared stimulus, with lane retirement and dirty-level
+schedule skipping — the engine behind
+:func:`repro.vereval.check_candidates_lockstep`.  See
+``docs/architecture.md`` for the full backend matrix and contracts.
+
 The public entry points are :func:`elaborate` and the
 :class:`~repro.sim.testbench.Testbench` /
 :func:`~repro.sim.testbench.equivalence_check` harness (lane-parallel:
 :class:`~repro.sim.testbench.BatchTestbench` /
-:func:`~repro.sim.testbench.sweep_random_stimulus`).
+:func:`~repro.sim.testbench.sweep_random_stimulus`; per-candidate:
+:class:`~repro.sim.testbench.LockstepTestbench`).
 """
 
 from repro.sim.values import mask, to_signed, from_signed, bit_length_for
@@ -89,12 +100,17 @@ from repro.sim.batch import (
     BatchDesign,
     BatchDivergence,
     BatchSimulator,
+    LockstepGroup,
+    LockstepSimulator,
     UnbatchableDesign,
     batch_design,
+    build_lockstep_group,
+    lockstep_shape_digest,
 )
 from repro.sim.testbench import (
     BatchTestbench,
     EquivalenceResult,
+    LockstepTestbench,
     StimulusVector,
     SweepResult,
     Testbench,
@@ -123,12 +139,17 @@ __all__ = [
     "BatchDesign",
     "BatchDivergence",
     "BatchSimulator",
+    "LockstepGroup",
+    "LockstepSimulator",
     "UnbatchableDesign",
     "batch_design",
+    "build_lockstep_group",
+    "lockstep_shape_digest",
     "default_backend",
     "set_default_backend",
     "Testbench",
     "BatchTestbench",
+    "LockstepTestbench",
     "StimulusVector",
     "SweepResult",
     "EquivalenceResult",

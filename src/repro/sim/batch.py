@@ -35,11 +35,42 @@ the compiled backend:
 Lane-for-lane identity with the scalar compiled backend — values *and*
 error classification — is enforced by ``tests/test_sim_batch.py`` across
 every ``vgen`` family, the vereval problem set, and hypothesis draws.
+
+Lockstep candidate checking
+---------------------------
+
+The lanes axis can also run over *candidates* instead of stimulus
+streams: :func:`build_lockstep_group` takes N structurally compatible
+designs (same signals/memories, same levelized schedule shape — see
+:func:`lockstep_shape_digest`) and builds one :class:`LockstepGroup`
+whose :class:`LockstepSimulator` steps every candidate in lockstep under
+one shared stimulus.  Node bodies are deduplicated by AST fingerprint —
+candidates that differ in a single expression share every other node's
+vectorized closure — and each distinct variant runs once per visit with
+a per-lane predicate selecting the candidates it belongs to.  The
+runtime adds two schedule refinements over the plain full-level sweep:
+
+* **lane retirement** — :meth:`LockstepSimulator.retire_lanes` drops
+  lanes (candidates) whose verdict is already decided; retired lanes are
+  excluded from every statement predicate and every edge trigger, so a
+  group where most candidates mismatch early converges to the cost of
+  the survivors;
+* **dirty-level skipping** — a settle walks the levelized schedule but
+  runs only nodes whose read set intersects the slots written since the
+  last settle (pokes, sequential-block commits); untouched levels of the
+  schedule are skipped entirely, mirroring the scalar backend's
+  fanout-driven dirty cone at whole-level, all-lanes granularity.
+
+The checking protocol built on top of this lives in
+:func:`repro.vereval.harness.check_candidates_lockstep`; groups or lanes
+the lockstep runner cannot carry replay on the scalar backends under the
+same scalar-fallback contract as everything above.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+import hashlib
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -51,6 +82,7 @@ from repro.sim.compile import (
     CompiledDesign,
     UncompilableDesign,
     _Compiler,
+    compile_design,
 )
 from repro.sim.simulator import _MAX_LOOP_ITERS, Simulator
 
@@ -58,9 +90,13 @@ __all__ = [
     "BatchDesign",
     "BatchDivergence",
     "BatchSimulator",
+    "LockstepGroup",
+    "LockstepSimulator",
     "UnbatchableDesign",
     "batch_design",
+    "build_lockstep_group",
     "is_stateless_comb",
+    "lockstep_shape_digest",
 ]
 
 #: int64 lanes hold nonnegative two's-complement values in bits 0..62;
@@ -115,7 +151,8 @@ def _signed(v, width: int):
 class BatchDesign(CompiledDesign):
     """Compile-once lane-parallel execution image of one design."""
 
-    __slots__ = ("n_lanes", "lane_ix", "ones", "sched_nodes", "comb_latched")
+    __slots__ = ("n_lanes", "lane_ix", "ones", "sched_nodes", "nodes_pred",
+                 "comb_latched")
 
     def __init__(self) -> None:
         super().__init__()
@@ -124,6 +161,11 @@ class BatchDesign(CompiledDesign):
         self.ones: np.ndarray = np.ones(1, dtype=bool)
         #: combinational nodes pre-ordered by the levelized schedule
         self.sched_nodes: Tuple = ()
+        #: per node (declaration order, like ``nodes``): a predicated
+        #: runner ``run(st, mems, pred)`` writing only lanes in ``pred``
+        #: — the building block of lockstep groups, where one node
+        #: position carries different bodies for different lanes
+        self.nodes_pred: Tuple = ()
         #: True when some comb block writes a signal only conditionally
         #: (a combinational latch): the signal then holds state between
         #: settles, so outputs are not a pure function of inputs
@@ -137,8 +179,12 @@ def batch_design(design: Design, n_lanes: int) -> BatchDesign:
     lowered (not levelizable, or wider than the int64 lane budget); the
     negative outcome is cached too, so repeated probes stay cheap.  The
     cache is dropped on pickling (``Design.__getstate__``), like the
-    scalar compile cache.
+    scalar compile cache.  ``n_lanes`` must be at least 1; asking for
+    zero or negative lanes is a caller bug surfaced as ``ValueError``
+    instead of an empty-array failure deep inside numpy.
     """
+    if n_lanes < 1:
+        raise ValueError(f"n_lanes must be >= 1, got {n_lanes}")
     cache = getattr(design, "_batch", None)
     if cache is None:
         cache = {}
@@ -196,6 +242,8 @@ class _BatchCompiler(_Compiler):
         self.lane_ix = np.arange(n_lanes)
         self.ones = np.ones(n_lanes, dtype=bool)
         self._latched = False
+        #: predicated comb-node runners, appended in node build order
+        self._pred_nodes: List = []
         for width in self.widths:
             self._check_width(width)
         for width in self.mem_widths:
@@ -223,6 +271,7 @@ class _BatchCompiler(_Compiler):
         bd.lane_ix = self.lane_ix
         bd.ones = self.ones
         bd.sched_nodes = tuple(bd.nodes[i] for i in bd.topo)
+        bd.nodes_pred = tuple(self._pred_nodes)
         bd.comb_latched = self._latched
         return bd
 
@@ -544,6 +593,27 @@ class _BatchCompiler(_Compiler):
             depth = self.mem_depths[mem_slot]
             lane_ix = self.lane_ix
             use_overlay = ov
+            # When the index expression's own width bounds it inside the
+            # memory, the range guards are statically dead: read with one
+            # fancy index instead of clip + compare + select per visit.
+            index_width = self._self_width(expr.index)
+            always_in_range = (
+                base == 0
+                and index_width <= _MAX_LANE_WIDTH
+                and (1 << index_width) - 1 < depth
+            )
+
+            if always_in_range:
+                def read_mem_direct(st, mems, o, mo, _ms=mem_slot):
+                    column = mo.get(_ms) if use_overlay else None
+                    if column is None:
+                        column = mems[_ms]
+                    idx = index_fn(st, mems, o, mo)
+                    if isinstance(idx, (int, np.integer)):
+                        return column[idx].copy()  # rows may mutate later
+                    return column[idx, lane_ix]
+
+                return read_mem_direct
 
             def read_mem(st, mems, o, mo, _ms=mem_slot):
                 column = mo.get(_ms) if use_overlay else None
@@ -1064,6 +1134,24 @@ class _BatchCompiler(_Compiler):
         def run(st, mems):
             writer(st, mems, value_fn(st, mems, None, None))
 
+        # Predicated variant for lockstep groups: the overlay-merging
+        # procedural writer touches only lanes in ``pred``, then commits.
+        pred_writer = self._compile_proc_write(assign.target, blocking=True)
+        widths = self.widths
+        lane_ix = self.lane_ix
+
+        def run_pred(st, mems, pred):
+            overlay: Dict[int, np.ndarray] = {}
+            mem_overlay: Dict[int, np.ndarray] = {}
+            pred_writer(
+                st, mems, overlay, mem_overlay, None,
+                value_fn(st, mems, None, None), pred,
+            )
+            _commit_lane_overlays(
+                st, mems, overlay, mem_overlay, None, widths, lane_ix
+            )
+
+        self._pred_nodes.append(run_pred)
         reads = set()
         writes = set()
         self._expr_reads(assign.value, set(), reads)
@@ -1076,23 +1164,28 @@ class _BatchCompiler(_Compiler):
             def run_empty(st, mems):
                 return None
 
+            def run_empty_pred(st, mems, pred):
+                return None
+
+            self._pred_nodes.append(run_empty_pred)
             return run_empty, set(), set()
         ones = self.ones
         widths = self.widths
         lane_ix = self.lane_ix
 
-        def run(st, mems):
+        def run_pred(st, mems, pred):
             overlay: Dict[int, np.ndarray] = {}
             mem_overlay: Dict[int, np.ndarray] = {}
             nba: List[tuple] = []
-            body(st, mems, overlay, mem_overlay, nba, ones)
-            for slot, value in overlay.items():
-                st[slot] = value
-            for mem_slot, column in mem_overlay.items():
-                mems[mem_slot] = column
-            if nba:
-                _commit_nba_lanes(st, mems, nba, widths, lane_ix)
+            body(st, mems, overlay, mem_overlay, nba, pred)
+            _commit_lane_overlays(
+                st, mems, overlay, mem_overlay, nba, widths, lane_ix
+            )
 
+        def run(st, mems):
+            run_pred(st, mems, ones)
+
+        self._pred_nodes.append(run_pred)
         reads = set()
         writes = set()
         # `written` ends as the names this block is *guaranteed* to fully
@@ -1109,6 +1202,22 @@ class _BatchCompiler(_Compiler):
         ):
             self._latched = True
         return run, reads, writes
+
+
+def _commit_lane_overlays(st, mems, overlay, mem_overlay, nba, widths,
+                          lane_ix) -> None:
+    """Commit one blocking-overlay epoch (plus optional NBA list).
+
+    The single definition of how overlays land in lane state — shared by
+    node runners, sequential/initial execution, and lockstep variants,
+    so commit semantics cannot silently diverge between them.
+    """
+    for slot, value in overlay.items():
+        st[slot] = value
+    for mem_slot, column in mem_overlay.items():
+        mems[mem_slot] = column
+    if nba:
+        _commit_nba_lanes(st, mems, nba, widths, lane_ix)
 
 
 def _commit_nba_lanes(st, mems, updates, widths, lane_ix) -> None:
@@ -1135,6 +1244,11 @@ def _commit_nba_lanes(st, mems, updates, widths, lane_ix) -> None:
         keep = st[slot]
         sig_width = widths[slot]
         sig_mask = (1 << sig_width) - 1
+        if width >= sig_width and isinstance(lo, int) and lo == 0:
+            # Whole-signal write (the common `reg <= expr` case): skip
+            # the field-merge arithmetic entirely.
+            st[slot] = np.where(pred, value & sig_mask, keep)
+            continue
         value_mask = (1 << width) - 1
         at_c = np.minimum(lo, _MAX_LANE_WIDTH)
         field_mask = value_mask << at_c
@@ -1183,14 +1297,10 @@ class BatchSimulator(Simulator):
             mem_overlay: Dict[int, np.ndarray] = {}
             nba: List[tuple] = []
             body(self.st, self.mem_data, overlay, mem_overlay, nba, ones)
-            for slot, value in overlay.items():
-                self.st[slot] = value
-            for mem_slot, column in mem_overlay.items():
-                self.mem_data[mem_slot] = column
-            if nba:
-                _commit_nba_lanes(
-                    self.st, self.mem_data, nba, bd.widths, bd.lane_ix
-                )
+            _commit_lane_overlays(
+                self.st, self.mem_data, overlay, mem_overlay, nba,
+                bd.widths, bd.lane_ix,
+            )
         self.settle()
 
     # -- state views ---------------------------------------------------------
@@ -1249,7 +1359,15 @@ class BatchSimulator(Simulator):
         mask = self.bdesign.masks[slot]
         if isinstance(value, int):
             return value & mask  # python-int mask first: may exceed int64
-        return np.asarray(value, dtype=_I64) & mask
+        lanes = np.asarray(value, dtype=_I64)
+        if lanes.ndim != 0 and lanes.shape != (self.n_lanes,):
+            # Surface shape bugs here, with the lane contract named,
+            # instead of as a broadcasting error deep inside numpy.
+            raise ValueError(
+                f"per-lane poke value has shape {lanes.shape}; expected a "
+                f"scalar or shape ({self.n_lanes},) for {self.n_lanes} lanes"
+            )
+        return lanes & mask
 
     def _poke_pending(self, name: str, value) -> bool:
         slot = self.bdesign.slot_of.get(name)
@@ -1317,9 +1435,423 @@ class BatchSimulator(Simulator):
             body(st, mems, overlay, mem_overlay, pending, pred)
             # Blocking writes commit with the block; nonblocking updates
             # commit once, after every triggered block ran.
-            for slot, value in overlay.items():
-                st[slot] = value
-            for mem_slot, column in mem_overlay.items():
-                mems[mem_slot] = column
+            _commit_lane_overlays(
+                st, mems, overlay, mem_overlay, None, bd.widths, bd.lane_ix
+            )
         if pending:
             _commit_nba_lanes(st, mems, pending, bd.widths, bd.lane_ix)
+
+
+# ---------------------------------------------------------------------------
+# Lockstep candidate groups: one lane per *candidate design*
+# ---------------------------------------------------------------------------
+
+
+def lockstep_shape_digest(design: Design) -> str:
+    """Structural-compatibility key for lockstep candidate grouping.
+
+    Two designs with equal digests share signal/memory tables (names,
+    widths, signedness, directions), the same levelized schedule shape
+    (node count, topological order, per-node read/write sets), the same
+    sequential trigger structure, and the same initial-statement count —
+    everything :func:`build_lockstep_group` needs to run them lane by
+    lane under one schedule.  Node *bodies* are deliberately excluded:
+    candidates that differ only in expressions (the typical near-miss
+    completion) group together and diverge per lane at runtime.
+
+    Raises :class:`~repro.sim.compile.UncompilableDesign` (or the
+    narrower :class:`UnbatchableDesign`) when the design cannot carry a
+    lane at all — not statically lowerable, not levelizable, or wider
+    than the int64 lane budget — which routes the candidate to the
+    scalar backends under the usual fallback contract.  The digest (or
+    the negative outcome) memoizes on the design object — it is a plain
+    string derived from structure alone, so unlike the closure caches it
+    survives pickling to pool workers.
+    """
+    cached = getattr(design, "_lockstep_digest", None)
+    if cached is not None:
+        if cached is False:
+            raise UnbatchableDesign("design is not lane-parallelizable")
+        return cached
+    try:
+        digest = _lockstep_shape_digest(design)
+    except UnbatchableDesign:
+        design._lockstep_digest = False
+        raise
+    design._lockstep_digest = digest
+    return digest
+
+
+def _lockstep_shape_digest(design: Design) -> str:
+    cd = compile_design(design)
+    if not cd.levelized:
+        raise UnbatchableDesign(
+            "combinational region is not levelizable (scalar fallback "
+            "applies)"
+        )
+    for sig in design.signals.values():
+        if sig.width > _MAX_LANE_WIDTH:
+            raise UnbatchableDesign(
+                f"width {sig.width} exceeds the {_MAX_LANE_WIDTH}-bit "
+                "int64 lane budget"
+            )
+    for memory in design.memories.values():
+        if memory.width > _MAX_LANE_WIDTH:
+            raise UnbatchableDesign(
+                f"width {memory.width} exceeds the {_MAX_LANE_WIDTH}-bit "
+                "int64 lane budget"
+            )
+    key = (
+        tuple(
+            (name, sig.width, bool(sig.signed), sig.direction)
+            for name, sig in design.signals.items()
+        ),
+        tuple(
+            (name, memory.width, memory.depth, memory.base)
+            for name, memory in design.memories.items()
+        ),
+        len(cd.nodes),
+        tuple(cd.topo),
+        tuple(sorted(cd.readers.items())),
+        tuple(sorted(cd.writers.items())),
+        cd.trigger_slots,
+        tuple(tuple(triggers) for triggers, _ in cd.seq),
+        len(cd.initial),
+    )
+    return hashlib.sha256(repr(key).encode("utf-8")).hexdigest()
+
+
+def _comb_node_fingerprints(design: Design) -> List[str]:
+    """Per-node AST fingerprints, aligned with ``CompiledDesign.nodes``.
+
+    Nodes are assembled as all continuous assigns followed by all
+    combinational blocks, in declaration order; the dataclass ``repr`` of
+    the (elaborated, parameter-folded) AST identifies a body exactly, so
+    equal fingerprints across candidates mean the compiled closures are
+    interchangeable.
+    """
+    fps = [
+        repr(("assign", assign.target, assign.value))
+        for assign in design.comb_assigns
+    ]
+    fps.extend(repr(("block", block.body)) for block in design.comb_blocks)
+    return fps
+
+
+class LockstepGroup:
+    """Execution plan for N structurally compatible candidate designs.
+
+    Built by :func:`build_lockstep_group`; lane ``i`` carries
+    ``designs[i]``.  Every per-node/per-block plan entry is a tuple of
+    *variants* ``(lane_mask, runner...)`` with pairwise-disjoint masks
+    covering all lanes — candidates sharing a body share one variant.
+    """
+
+    __slots__ = (
+        "designs", "rep", "n_lanes", "comb_plan", "seq_plan",
+        "initial_plan", "node_reads", "node_writes", "seq_writes",
+    )
+
+    def __init__(self) -> None:
+        self.designs: List[Design] = []
+        self.rep: Optional[BatchDesign] = None
+        self.n_lanes = 0
+        #: per node index: ((mask, plain_run, pred_run), ...)
+        self.comb_plan: Tuple = ()
+        #: per seq block: (triggers, ((mask, body), ...))
+        self.seq_plan: Tuple = ()
+        #: per initial statement: ((mask, body), ...)
+        self.initial_plan: Tuple = ()
+        self.node_reads: Tuple = ()
+        self.node_writes: Tuple = ()
+        #: per seq block: union of written pseudo-slots over all lanes
+        self.seq_writes: Tuple = ()
+
+
+def build_lockstep_group(designs: Sequence[Design]) -> LockstepGroup:
+    """Lower N same-shape designs into one lane-per-candidate group.
+
+    All designs must carry equal :func:`lockstep_shape_digest` values;
+    violations (and any member the lane compiler cannot lower) raise
+    :class:`UnbatchableDesign`, on which callers fall back to checking
+    every member on the scalar backends.
+    """
+    designs = list(designs)
+    n_lanes = len(designs)
+    if n_lanes < 1:
+        raise ValueError(f"a lockstep group needs >= 1 design, got {n_lanes}")
+    # Full digest equality is the compatibility gate: it covers the
+    # signal/memory tables (widths, signedness, directions), the node
+    # read/write sets the dirty-skip settle relies on, and the trigger
+    # structure — loose per-image checks would admit lookalikes (e.g. an
+    # assign swapped for a latching block at the same schedule slot).
+    digests = [lockstep_shape_digest(design) for design in designs]
+    if len(set(digests)) > 1:
+        raise UnbatchableDesign(
+            "lockstep group members have mismatched schedule shapes"
+        )
+
+    node_fp_lists = [_comb_node_fingerprints(design) for design in designs]
+    seq_fp_lists = [
+        [repr((block.triggers, block.body)) for block in design.seq_blocks]
+        for design in designs
+    ]
+    initial_fps = [repr(design.initial_stmts) for design in designs]
+    # Candidates that are AST-identical after elaboration (whitespace or
+    # comment variants — the duplicates source-level memoization cannot
+    # see) share one compiled image: compile cost scales with distinct
+    # structures, not with lanes.
+    design_fps = [
+        (
+            repr(
+                (
+                    tuple(designs[lane].signals.items()),
+                    tuple(designs[lane].memories.items()),
+                )
+            ),
+            tuple(node_fp_lists[lane]),
+            tuple(seq_fp_lists[lane]),
+            initial_fps[lane],
+        )
+        for lane in range(n_lanes)
+    ]
+    shared: Dict[tuple, BatchDesign] = {}
+    bds: List[BatchDesign] = []
+    for lane, design in enumerate(designs):
+        bd = shared.get(design_fps[lane])
+        if bd is None:
+            bd = batch_design(design, n_lanes)
+            shared[design_fps[lane]] = bd
+        bds.append(bd)
+    rep = bds[0]
+    n_nodes = len(rep.nodes)
+    for bd in bds[1:]:
+        if len(bd.nodes) != n_nodes or len(bd.initial) != len(rep.initial):
+            raise UnbatchableDesign(
+                "lockstep group members have mismatched schedule shapes"
+            )
+
+    group = LockstepGroup()
+    group.designs = designs
+    group.rep = rep
+    group.n_lanes = n_lanes
+
+    def variants(fingerprints, runners_of):
+        """Dedup per-lane runners by fingerprint; first contributor wins."""
+        by_fp: Dict[str, tuple] = {}
+        order: List[str] = []
+        for lane, fp in enumerate(fingerprints):
+            entry = by_fp.get(fp)
+            if entry is None:
+                mask = np.zeros(n_lanes, dtype=bool)
+                by_fp[fp] = (mask,) + tuple(runners_of(lane))
+                order.append(fp)
+                entry = by_fp[fp]
+            entry[0][lane] = True
+        return tuple(by_fp[fp] for fp in order)
+
+    group.comb_plan = tuple(
+        variants(
+            [node_fp_lists[lane][i] for lane in range(n_lanes)],
+            lambda lane, _i=i: (bds[lane].nodes[_i], bds[lane].nodes_pred[_i]),
+        )
+        for i in range(n_nodes)
+    )
+    group.seq_plan = tuple(
+        (
+            rep.seq[j][0],
+            variants(
+                [seq_fp_lists[lane][j] for lane in range(n_lanes)],
+                lambda lane, _j=j: (bds[lane].seq[_j][1],),
+            ),
+        )
+        for j in range(len(rep.seq))
+    )
+    # Initial bodies are fingerprinted wholesale: compiled statements do
+    # not map 1:1 to AST statements (no-op statements compile away), so
+    # per-statement alignment is only guaranteed between candidates whose
+    # whole initial region matches.
+    group.initial_plan = tuple(
+        variants(
+            initial_fps, lambda lane, _k=k: (bds[lane].initial[_k],)
+        )
+        for k in range(len(rep.initial))
+    )
+
+    reads: List[set] = [set() for _ in range(n_nodes)]
+    writes: List[set] = [set() for _ in range(n_nodes)]
+    for ps, nodes in rep.readers.items():
+        for node in nodes:
+            reads[node].add(ps)
+    for ps, nodes in rep.writers.items():
+        for node in nodes:
+            writes[node].add(ps)
+    group.node_reads = tuple(frozenset(r) for r in reads)
+    group.node_writes = tuple(frozenset(w) for w in writes)
+
+    seq_writes: List[set] = [set() for _ in range(len(rep.seq))]
+    analysed: set = set()
+    for lane, design in enumerate(designs):
+        if design_fps[lane] in analysed:
+            continue
+        analysed.add(design_fps[lane])
+        comp = _Compiler(design)
+        for j, block in enumerate(design.seq_blocks):
+            block_reads: set = set()
+            block_writes: set = set()
+            comp._stmt_effects(block.body, set(), block_reads, block_writes)
+            seq_writes[j] |= block_writes
+    group.seq_writes = tuple(frozenset(w) for w in seq_writes)
+    return group
+
+
+class LockstepSimulator(BatchSimulator):
+    """Steps a :class:`LockstepGroup` — one candidate design per lane.
+
+    The observable API is the :class:`BatchSimulator` one (lane arrays
+    from ``peek_lanes``, broadcast or per-lane pokes), plus:
+
+    * :meth:`retire_lanes` — permanently drop lanes whose verdict is
+      decided; retired lanes are excluded from every write predicate and
+      edge trigger, and a fully retired group becomes (almost) free to
+      step;
+    * dirty-level settle — only schedule levels whose read sets
+      intersect the slots written since the last settle run at all, so
+      stimulus touching a narrow input cone skips the rest of the
+      schedule.
+
+    Verdict identity with checking every candidate on the scalar
+    backends is enforced by ``tests/test_sim_lockstep.py``.
+    """
+
+    def __init__(self, group: LockstepGroup):
+        rep = group.rep
+        n_lanes = group.n_lanes
+        self.group = group
+        self.design = group.designs[0]
+        self.bdesign = rep
+        self.n_lanes = n_lanes
+        self.active: np.ndarray = np.ones(n_lanes, dtype=bool)
+        self._all_active = True
+        self._any_active = True
+        self.st = [
+            np.zeros(n_lanes, dtype=_I64) for _ in range(rep.n_signals)
+        ]
+        self.mem_data = [
+            np.zeros((depth, n_lanes), dtype=_I64) for depth in rep.mem_depths
+        ]
+        self._max_rounds = 2 * rep.comb_count + 16
+        self._dirty = set(range(rep.n_signals + len(rep.mem_depths)))
+        # Every node is forced into the first settle (constant-driven
+        # nodes have empty read sets, so dirtiness alone would skip them).
+        self._forced: set = set(range(len(rep.nodes)))
+        # Initial statements commit per statement index; variant masks are
+        # pairwise disjoint, so merged overlays preserve per-lane order.
+        for stmt_variants in group.initial_plan:
+            overlay: Dict[int, np.ndarray] = {}
+            mem_overlay: Dict[int, np.ndarray] = {}
+            nba: List[tuple] = []
+            for entry in stmt_variants:
+                mask, body = entry[0], entry[1]
+                body(self.st, self.mem_data, overlay, mem_overlay, nba, mask)
+            _commit_lane_overlays(
+                self.st, self.mem_data, overlay, mem_overlay, nba,
+                rep.widths, rep.lane_ix,
+            )
+        self.settle()
+
+    def retire_lanes(self, mask) -> None:
+        """Permanently exclude the lanes in boolean ``mask``."""
+        self.active = self.active & ~np.asarray(mask, dtype=bool)
+        self._all_active = bool(self.active.all())
+        self._any_active = bool(self.active.any())
+
+    # -- dirty tracking ------------------------------------------------------
+
+    def _poke_apply(self, name: str, value) -> None:
+        super()._poke_apply(name, value)
+        slot = self.bdesign.slot_of[name]
+        self._dirty.add(slot)
+        # Out-of-schedule write: like the scalar backend, re-run the
+        # slot's driver too so a poked comb-driven net is restored.
+        self._forced.update(self.bdesign.writers.get(slot, ()))
+
+    def _mark_written(self, pseudo_slots) -> None:
+        self._dirty |= pseudo_slots
+        writers = self.bdesign.writers
+        for ps in pseudo_slots:
+            self._forced.update(writers.get(ps, ()))
+
+    # -- settle / edges ------------------------------------------------------
+
+    def settle(self) -> None:
+        """Dirty-level sweep: skip schedule levels no write can reach."""
+        dirty = self._dirty
+        forced = self._forced
+        if not dirty and not forced:
+            return
+        st = self.st
+        mems = self.mem_data
+        active = self.active
+        all_active = self._all_active
+        group = self.group
+        node_reads = group.node_reads
+        node_writes = group.node_writes
+        comb_plan = group.comb_plan
+        for node in self.bdesign.topo:
+            if node not in forced and dirty.isdisjoint(node_reads[node]):
+                continue
+            node_variants = comb_plan[node]
+            if len(node_variants) == 1:
+                # One body covers every lane: take the unpredicated
+                # full-sweep runner unless retirement narrowed the lanes.
+                _, plain, pred_run = node_variants[0]
+                if all_active:
+                    plain(st, mems)
+                elif self._any_active:
+                    pred_run(st, mems, active)
+            else:
+                for mask, _, pred_run in node_variants:
+                    pred = mask & active
+                    if pred.any():
+                        pred_run(st, mems, pred)
+            dirty |= node_writes[node]
+        self._dirty = set()
+        self._forced = set()
+
+    def _fire_edges(self, snapshot: List[np.ndarray]) -> None:
+        if not self._any_active:
+            return  # every candidate is decided; nothing left to observe
+        group = self.group
+        st = self.st
+        trigger_slots = self.bdesign.trigger_slots
+        for _ in range(self._max_rounds):
+            current = [st[s] & 1 for s in trigger_slots]
+            fired: List[tuple] = []
+            fired_writes: set = set()
+            for j, (triggers, block_variants) in enumerate(group.seq_plan):
+                lanes = None
+                for want, ti in triggers:
+                    edge = (snapshot[ti] != current[ti]) & (
+                        current[ti] == want
+                    )
+                    lanes = edge if lanes is None else (lanes | edge)
+                if lanes is None:
+                    continue
+                lanes = lanes & self.active
+                if not lanes.any():
+                    continue
+                for mask, body in block_variants:
+                    pred = lanes & mask
+                    if pred.any():
+                        fired.append((body, pred))
+                fired_writes |= group.seq_writes[j]
+            if not fired:
+                return
+            self._run_seq_blocks(fired)
+            self._mark_written(fired_writes)
+            self.settle()
+            snapshot = current
+        raise SimulationError(
+            "edge events failed to quiesce (oscillating clock loop?)"
+        )

@@ -124,13 +124,30 @@ class _NBAUpdate:
 class Simulator:
     """Executes an elaborated :class:`~repro.sim.elaborate.Design`.
 
-    This class is a transparent facade over two backends.  Constructing
-    ``Simulator(design)`` returns an :class:`InterpreterSimulator` or a
-    :class:`~repro.sim.compile.CompiledSimulator` depending on ``backend``
-    (``"auto"`` / ``"compiled"`` / ``"interp"``; ``None`` means the
-    process default, see :func:`set_default_backend`).  Both expose the
-    same observable API: ``poke``, ``poke_many``, ``peek``, ``peek_mem``,
-    ``settle``, and ``state`` / ``mems`` views of the flat state.
+    This class is a transparent facade over the cycle-identical
+    backends.  Constructing ``Simulator(design)`` returns an
+    :class:`InterpreterSimulator`, a
+    :class:`~repro.sim.compile.CompiledSimulator`, or a
+    :class:`~repro.sim.batch.BatchSimulator` depending on ``backend``
+    (``"auto"`` / ``"compiled"`` / ``"interp"`` / ``"batch"``; ``None``
+    means the process default, see :func:`set_default_backend`).  All
+    expose the same observable API: ``poke``, ``poke_many``, ``peek``,
+    ``peek_mem``, ``settle``, and ``state`` / ``mems`` views of the flat
+    state.  Backends that cannot carry a design fall back along the
+    documented contracts (batch -> scalar, compiled -> interpreter).
+
+    Example (any backend name gives the same cycles):
+
+    >>> from repro.sim import Simulator, elaborate
+    >>> from repro.verilog import parse_source
+    >>> design = elaborate(parse_source(
+    ...     "module c(input clk, output reg [3:0] q);"
+    ...     " always @(posedge clk) q <= q + 1; endmodule"), "c")
+    >>> sim = Simulator(design)           # "auto": the compiled backend
+    >>> for _ in range(3):
+    ...     sim.poke("clk", 0); sim.poke("clk", 1)
+    >>> sim.peek("q")
+    3
     """
 
     def __new__(cls, design: Design, max_settle_rounds: Optional[int] = None,

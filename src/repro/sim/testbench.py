@@ -29,7 +29,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.errors import SimulationError
-from repro.sim.batch import BatchSimulator, UnbatchableDesign
+from repro.sim.batch import (
+    BatchSimulator,
+    LockstepGroup,
+    LockstepSimulator,
+    UnbatchableDesign,
+)
 from repro.sim.compile import UncompilableDesign
 from repro.sim.elaborate import Design, elaborate
 from repro.sim.simulator import Simulator
@@ -162,7 +167,22 @@ class BatchTestbench(Testbench):
     array, and ``sample`` returns per-lane arrays.  Construction raises
     :class:`~repro.sim.batch.UnbatchableDesign` when the design cannot be
     lane-lowered — callers fall back to N scalar benches (see
-    :func:`sweep_random_stimulus`, which automates exactly that).
+    :func:`sweep_random_stimulus`, which automates exactly that) — and
+    ``ValueError`` for ``n_lanes < 1`` or a per-lane poke value whose
+    shape does not match the lane count.
+
+    Example (three lanes of one adder, each with its own operands):
+
+    >>> from repro.sim import BatchTestbench, elaborate
+    >>> from repro.verilog import parse_source
+    >>> import numpy as np
+    >>> design = elaborate(parse_source(
+    ...     "module add(input [3:0] a, input [3:0] b, output [4:0] y);"
+    ...     " assign y = a + b; endmodule"), "add")
+    >>> bench = BatchTestbench(design, n_lanes=3, clock=None)
+    >>> out = bench.step({"a": np.array([1, 2, 3]), "b": 10})
+    >>> out["y"].tolist()
+    [11, 12, 13]
     """
 
     def __init__(
@@ -182,6 +202,42 @@ class BatchTestbench(Testbench):
 
     def sample(self) -> Dict[str, np.ndarray]:
         """Per-lane output arrays after combinational settle."""
+        peek_lanes = self.sim.peek_lanes
+        return {name: peek_lanes(name) for name in self._output_names}
+
+
+class LockstepTestbench(Testbench):
+    """Harness stepping one *candidate group* — one candidate per lane.
+
+    Where :class:`BatchTestbench` runs one design under N stimulus
+    streams, this bench runs N structurally compatible designs (a
+    :class:`~repro.sim.batch.LockstepGroup`, see
+    :func:`~repro.sim.batch.build_lockstep_group`) under one shared
+    stimulus: ``drive``/``tick`` broadcast to every lane, ``sample``
+    returns per-lane (per-candidate) output arrays, and
+    ``sim.retire_lanes`` drops candidates whose verdict is already
+    decided.  This is the execution engine behind
+    :func:`repro.vereval.harness.check_candidates_lockstep`; port
+    resolution follows the group's first design (all members share the
+    interface by construction).
+    """
+
+    def __init__(
+        self,
+        group: LockstepGroup,
+        clock: Optional[str] = "clk",
+        reset: Optional[str] = None,
+        reset_active_high: bool = True,
+    ) -> None:
+        self._group = group
+        super().__init__(group.designs[0], clock, reset, reset_active_high)
+
+    def _make_simulator(self, design: Design,
+                        backend: Optional[str]) -> LockstepSimulator:
+        return LockstepSimulator(self._group)
+
+    def sample(self) -> Dict[str, np.ndarray]:
+        """Per-lane (per-candidate) output arrays after settle."""
         peek_lanes = self.sim.peek_lanes
         return {name: peek_lanes(name) for name in self._output_names}
 
@@ -240,7 +296,28 @@ def sweep_random_stimulus(
     ``stimuli`` supplies one pre-generated episode (a vector list) per
     lane instead of deriving them from ``seeds`` — for custom stimulus
     programs, or to amortize generation across repeated sweeps.
+
+    Malformed inputs fail fast with ``ValueError`` (negative ``cycles``,
+    a ``stimuli`` list whose length does not match ``seeds``) rather
+    than as a broadcasting error deep inside numpy; the same applies to
+    per-lane poke arrays whose shape does not match the lane count.
+
+    Example (two seeded episodes of a toggling register, in lockstep):
+
+    >>> from repro.sim import elaborate, sweep_random_stimulus
+    >>> from repro.verilog import parse_source
+    >>> design = elaborate(parse_source(
+    ...     "module t(input clk, input d, output reg q);"
+    ...     " always @(posedge clk) q <= d; endmodule"), "t")
+    >>> result = sweep_random_stimulus(design, cycles=4, seeds=(0, 1))
+    >>> result.vectorized, result.ok, len(result.traces)
+    (True, True, 2)
+    >>> result.lane(0) == [
+    ...     {"q": row[0]} for row in result.traces[0]]
+    True
     """
+    if cycles < 0:
+        raise ValueError(f"cycles must be >= 0, got {cycles}")
     seeds = tuple(seeds)
     if not seeds:
         return SweepResult(

@@ -15,6 +15,7 @@ from repro.vereval.harness import (
     EvalResult,
     ProblemOutcome,
     check_candidate_source,
+    check_candidates_lockstep,
     check_completion,
     evaluate_model,
 )
@@ -27,6 +28,7 @@ __all__ = [
     "EvalResult",
     "ProblemOutcome",
     "check_candidate_source",
+    "check_candidates_lockstep",
     "check_completion",
     "evaluate_model",
 ]

@@ -12,6 +12,16 @@ Since the evalkit refactor this module plays two roles:
   facade, with per-vector batched pokes; the interpreter backend is
   cycle-identical and kicks in automatically for candidates the compiler
   cannot statically lower;
+* it owns the *batched* verdict path (:func:`check_candidates_lockstep`):
+  many candidates of one problem check at once — duplicates collapse,
+  stateless combinational candidates take the all-vectors lane fast path
+  (:func:`_check_all_vectors_batch`, one stimulus vector per lane), and
+  sequential candidates with compatible compiled shapes simulate **in
+  lockstep**, one lane per candidate under the shared golden stimulus
+  (:mod:`repro.sim.batch` lockstep groups), with mismatching lanes
+  retired at their first bad cycle.  Everything that cannot ride a lane
+  replays on the scalar backends, so verdicts are candidate-for-candidate
+  identical to the scalar loop;
 * :func:`evaluate_model` is a thin facade compiling the paper's pass@k
   protocol into a :class:`repro.evalkit.EvalPlan`, which runs it through
   the streaming/parallel/checkpointable engine with numerically identical
@@ -45,6 +55,16 @@ from repro.vereval.problems import EvalProblem
 #: kill switch for the combinational all-vectors fast path (used by the
 #: differential tests and benchmarks to time the scalar loop)
 BATCH_CHECK_ENABLED = os.environ.get("REPRO_SIM_BATCH_CHECK", "1") != "0"
+
+#: kill switch for lockstep (one lane per candidate) sequential checking
+#: — same role as BATCH_CHECK_ENABLED, for the sequential fast path
+LOCKSTEP_CHECK_ENABLED = (
+    os.environ.get("REPRO_SIM_LOCKSTEP_CHECK", "1") != "0"
+)
+
+#: lockstep groups smaller than this run on the scalar path: a single
+#: candidate gains nothing from lane form, it only pays numpy overhead
+_MIN_LOCKSTEP_LANES = 2
 
 
 @dataclass
@@ -345,6 +365,309 @@ def _check_against_trace(
     except SimulationError as exc:
         return EquivalenceResult(equivalent=False, error=str(exc))
     return EquivalenceResult(equivalent=True, cycles_run=len(ref.stimulus))
+
+
+def _candidate_shape_digest(candidate, source: Optional[str]) -> str:
+    """Lockstep grouping digest for one elaborated candidate.
+
+    Backed by the :mod:`repro.sim.cache` disk tier when enabled (keyed
+    by exact source text), so pool workers and later runs group without
+    re-probing the compiler.  Raises
+    :class:`~repro.sim.compile.UncompilableDesign` for candidates that
+    cannot carry a lane — the caller routes those to the scalar path.
+    """
+    from repro.sim.batch import UnbatchableDesign, lockstep_shape_digest
+    from repro.sim.compile import UncompilableDesign
+
+    name = candidate.top
+    if source is not None:
+        cached = sim_cache.get_shape(source, name)
+        if cached is not None:
+            if cached == sim_cache.UNBATCHABLE_SHAPE:
+                raise UnbatchableDesign(
+                    "cached shape: not lane-parallelizable"
+                )
+            return cached
+    try:
+        digest = lockstep_shape_digest(candidate)
+    except UncompilableDesign:
+        if source is not None:
+            sim_cache.put_shape(source, name, sim_cache.UNBATCHABLE_SHAPE)
+        raise
+    if source is not None:
+        sim_cache.put_shape(source, name, digest)
+    return digest
+
+
+def _run_lockstep_group(
+    ref: _GoldenRef, designs, problem: EvalProblem
+) -> Optional[list]:
+    """Check one shape-compatible candidate group in lockstep.
+
+    Returns one :class:`EquivalenceResult` per design (aligned), with
+    ``None`` entries for lanes whose verdict the lockstep run could not
+    decide (a runtime :class:`~repro.sim.batch.BatchDivergence` or any
+    other ``SimulationError`` that cannot be attributed to a single
+    lane) — the caller replays those candidates on the scalar backends,
+    which preserves per-candidate error classification.  Returns ``None``
+    outright when the group does not lower at all.
+
+    The protocol mirrors :func:`_check_against_trace` cycle for cycle:
+    golden reset/step errors preempt with the recorded phase, mismatching
+    lanes record the scalar first-mismatch bookkeeping (first cycle,
+    first output in golden name order) and retire, and surviving lanes
+    pass with the full cycle count.
+    """
+    from repro.sim.batch import build_lockstep_group
+    from repro.sim.compile import UncompilableDesign
+    from repro.sim.testbench import LockstepTestbench
+
+    n_lanes = len(designs)
+    results: list = [None] * n_lanes
+    try:
+        group = build_lockstep_group(designs)
+    except UncompilableDesign:
+        return None
+    interface = problem.module.interface
+    names = ref.output_names
+    trace = ref.trace
+    try:
+        bench = LockstepTestbench(
+            group,
+            clock=interface.clock,
+            reset=interface.reset,
+            reset_active_high=interface.reset_active_high,
+        )
+        if ref.error_phase == "reset":
+            return [
+                EquivalenceResult(equivalent=False, error=ref.error)
+            ] * n_lanes
+        bench.apply_reset()
+        sim = bench.sim
+        expected = (
+            np.array(trace, dtype=np.int64)
+            if trace
+            else np.zeros((0, len(names)), dtype=np.int64)
+        )
+        for cycle, vector in enumerate(ref.stimulus):
+            if cycle >= len(trace):
+                # The golden itself died at this cycle: it preempts both
+                # the candidate's step and the comparison, exactly as in
+                # the scalar trace check.
+                for lane in range(n_lanes):
+                    if results[lane] is None and sim.active[lane]:
+                        results[lane] = EquivalenceResult(
+                            equivalent=False, error=ref.error
+                        )
+                return results
+            bench.drive(vector)
+            bench.tick()
+            if not names:
+                continue
+            actual = np.stack(
+                [sim.peek_lanes(name) for name in names], axis=1
+            )
+            mismatched = actual != expected[cycle]
+            lane_bad = mismatched.any(axis=1) & sim.active
+            if lane_bad.any():
+                for lane in np.nonzero(lane_bad)[0]:
+                    out_index = int(np.argmax(mismatched[lane]))
+                    results[int(lane)] = EquivalenceResult(
+                        equivalent=False,
+                        cycles_run=cycle + 1,
+                        first_mismatch_cycle=cycle,
+                        mismatched_output=names[out_index],
+                        expected=int(expected[cycle, out_index]),
+                        actual=int(actual[lane, out_index]),
+                    )
+                sim.retire_lanes(lane_bad)
+                if not sim.active.any():
+                    return results
+        for lane in range(n_lanes):
+            if results[lane] is None:
+                results[lane] = EquivalenceResult(
+                    equivalent=True, cycles_run=len(ref.stimulus)
+                )
+        return results
+    except (SimulationError, OverflowError, ValueError):
+        # Undecided lanes stay None: the caller replays them scalar.
+        return results
+
+
+def _check_many_against_trace(
+    ref: _GoldenRef, candidates, problem: EvalProblem, sources=None
+) -> list:
+    """Verdicts for many candidates of one problem, lockstep when it pays.
+
+    Returns one :class:`EquivalenceResult` per candidate, identical to
+    calling :func:`_check_against_trace` per candidate (enforced by
+    ``tests/test_sim_lockstep.py``).  Sequential candidates group by
+    :func:`~repro.sim.batch.lockstep_shape_digest` and run one lane each
+    under the shared golden stimulus; stragglers (unique shapes, designs
+    that do not lane-lower, lanes the runner could not decide) take the
+    scalar path.  A ``SimulationError`` escaping a scalar check maps to
+    the ``"simulation"`` failure reason, as in
+    :func:`check_candidate_source`.
+    """
+    from repro.sim import default_backend
+    from repro.sim.compile import UncompilableDesign
+
+    results: list = [None] * len(candidates)
+    pool = []
+    for index, candidate in enumerate(candidates):
+        if ref.signature != interface_signature(candidate):
+            results[index] = EquivalenceResult(
+                equivalent=False,
+                error="interface mismatch",
+                notes=[
+                    f"golden={ref.signature}",
+                    f"candidate={interface_signature(candidate)}",
+                ],
+            )
+        elif ref.error_phase == "construct":
+            results[index] = EquivalenceResult(
+                equivalent=False, error=ref.error
+            )
+        else:
+            pool.append(index)
+
+    interface = problem.module.interface
+    scalar = list(pool)
+    if (
+        LOCKSTEP_CHECK_ENABLED
+        and interface.clock is not None
+        # An explicitly pinned interpreter backend is a ground-truth run.
+        and default_backend() != "interp"
+        and len(pool) >= _MIN_LOCKSTEP_LANES
+    ):
+        groups: dict = {}
+        scalar = []
+        for index in pool:
+            try:
+                digest = _candidate_shape_digest(
+                    candidates[index],
+                    sources[index] if sources is not None else None,
+                )
+            except UncompilableDesign:
+                scalar.append(index)
+                continue
+            groups.setdefault(digest, []).append(index)
+        for indices in groups.values():
+            if len(indices) < _MIN_LOCKSTEP_LANES:
+                scalar.extend(indices)
+                continue
+            lane_results = _run_lockstep_group(
+                ref, [candidates[i] for i in indices], problem
+            )
+            if lane_results is None:
+                scalar.extend(indices)
+                continue
+            for index, lane_result in zip(indices, lane_results):
+                if lane_result is None:
+                    scalar.append(index)
+                else:
+                    results[index] = lane_result
+
+    for index in scalar:
+        try:
+            results[index] = _check_against_trace(
+                ref, candidates[index], problem
+            )
+        except SimulationError:
+            results[index] = EquivalenceResult(
+                equivalent=False, error="simulation"
+            )
+    return results
+
+
+def check_candidates_lockstep(
+    problem: EvalProblem, candidate_sources: Sequence[str]
+) -> List[Tuple[bool, str]]:
+    """Functional verdicts for many candidate sources of one problem.
+
+    The batch counterpart of :func:`check_candidate_source`, guaranteed
+    to return exactly what a per-candidate loop would — the same
+    ``(passed, failure_reason)`` classification (``syntax`` /
+    ``internal`` / ``missing_module`` / ``elaboration`` / ``simulation``
+    / mismatch detail), in input order, duplicates included — while
+    doing the work batched:
+
+    * duplicate sources parse, elaborate, and check once;
+    * sequential candidates with compatible compiled shapes
+      (:func:`~repro.sim.batch.lockstep_shape_digest`) run **in
+      lockstep**, one lane per candidate, under the shared golden
+      stimulus, with mismatching lanes retired at their first bad cycle;
+    * everything else — combinational problems (which keep the
+      all-vectors fast path), unique shapes, designs that do not
+      lane-lower, and lanes hit by a runtime
+      :class:`~repro.sim.batch.BatchDivergence` — replays on the scalar
+      backends under the usual fallback contract;
+    * with the :mod:`repro.sim.cache` disk tier enabled, elaborated
+      candidates and their grouping digests persist across workers/runs.
+
+    Set ``REPRO_SIM_LOCKSTEP_CHECK=0`` to force the scalar path (the
+    differential tests and benchmarks use this to time the baseline).
+    """
+    sources = list(candidate_sources)
+    outcomes: List[Optional[Tuple[bool, str]]] = [None] * len(sources)
+    name = problem.module.name
+
+    positions: "OrderedDict[str, List[int]]" = OrderedDict()
+    for index, source in enumerate(sources):
+        positions.setdefault(source, []).append(index)
+
+    def fill(indices: List[int], outcome: Tuple[bool, str]) -> None:
+        for index in indices:
+            outcomes[index] = outcome
+
+    parsed = []  # (source, design-or-None, parsed-file-or-None, indices)
+    for source, indices in positions.items():
+        candidate = sim_cache.get_design(source, name)
+        candidate_file = None
+        if candidate is None:
+            try:
+                candidate_file = parse_source_fast(source)
+            except (LexError, ParseError):
+                fill(indices, (False, "syntax"))
+                continue
+            except Exception:
+                fill(indices, (False, "internal"))
+                continue
+            if candidate_file.module(name) is None:
+                fill(indices, (False, "missing_module"))
+                continue
+        parsed.append((source, candidate, candidate_file, indices))
+
+    if parsed:
+        try:
+            ref = _golden_ref(problem)
+        except ElaborationError:
+            for _, _, _, indices in parsed:
+                fill(indices, (False, "elaboration"))
+            parsed = []
+    checkable = []  # (source, design, indices)
+    for source, candidate, candidate_file, indices in parsed:
+        if candidate is None:
+            try:
+                candidate = elaborate(candidate_file, name)
+            except ElaborationError:
+                fill(indices, (False, "elaboration"))
+                continue
+            sim_cache.put_design(source, name, candidate)
+        checkable.append((source, candidate, indices))
+    if checkable:
+        verdicts = _check_many_against_trace(
+            ref,
+            [candidate for _, candidate, _ in checkable],
+            problem,
+            sources=[source for source, _, _ in checkable],
+        )
+        for (_, _, indices), verdict in zip(checkable, verdicts):
+            if verdict.equivalent:
+                fill(indices, (True, ""))
+            else:
+                fill(indices, (False, verdict.error or "mismatch"))
+    return outcomes  # type: ignore[return-value]
 
 
 def check_candidate_source(

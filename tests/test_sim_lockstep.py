@@ -1,0 +1,595 @@
+"""Differential tests: lockstep candidate checking vs the scalar path.
+
+``check_candidates_lockstep`` — and the whole machinery under it
+(:func:`repro.sim.batch.lockstep_shape_digest` grouping,
+:func:`repro.sim.batch.build_lockstep_group`,
+:class:`repro.sim.batch.LockstepSimulator` with lane retirement and
+dirty-level skipping) — must be *verdict-identical, candidate for
+candidate*, to checking every source through
+:func:`check_candidate_source`: the same pass/fail bits, the same
+failure-reason classification (``syntax`` / ``missing_module`` /
+``elaboration`` / mismatch detail / ``SimulationError`` strings), and
+the same first-mismatch bookkeeping, across vgen families, the vereval
+problem set, engineered error scenarios (comb latches, division by
+zero, ``BatchDivergence``, unlevelizable and over-wide designs), and
+hypothesis draws.
+"""
+
+import numpy as np
+import pytest
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import (
+    BatchSimulator,
+    LockstepSimulator,
+    LockstepTestbench,
+    Simulator,
+    Testbench,
+    UnbatchableDesign,
+    batch_design,
+    build_lockstep_group,
+    elaborate,
+    lockstep_shape_digest,
+    random_stimulus,
+    sweep_random_stimulus,
+)
+from repro.sim import cache as sim_cache
+from repro.utils.rng import DeterministicRNG
+from repro.vereval import build_problem_set, check_candidates_lockstep
+from repro.vereval.problems import EvalProblem
+from repro.vgen import FAMILIES, generate_family
+from repro.vgen.base import GeneratedModule, ModuleInterface
+from repro.verilog import parse_source
+
+import repro.vereval.harness as harness
+
+ALL_FAMILIES = sorted(FAMILIES)
+
+SEQUENTIAL_FAMILIES = ["fifo", "traffic_fsm", "lfsr", "shift_register"]
+
+
+def build(source, top):
+    return elaborate(parse_source(source), top)
+
+
+def _mutate(source: str, index: int) -> str:
+    """A cheap, usually-still-parseable candidate variant per index."""
+    replacements = [("+", "-"), ("&", "|"), ("<", ">="), ("^", "&")]
+    for old, new in replacements[index % len(replacements):]:
+        if old in source:
+            return source.replace(old, new, 1)
+    return source
+
+
+def _problem_for(module, cycles=24, seed=5, problem_id="lockstep"):
+    return EvalProblem(
+        problem_id=problem_id, module=module,
+        stimulus_cycles=cycles, stimulus_seed=seed,
+    )
+
+
+def assert_lockstep_identical(problem, sources):
+    batch = check_candidates_lockstep(problem, sources)
+    reference = [
+        harness.check_candidate_source(problem, source) for source in sources
+    ]
+    assert batch == reference
+    return batch
+
+
+# ---------------------------------------------------------------------------
+# the custom sequential DUT used by the engineered scenarios
+# ---------------------------------------------------------------------------
+
+_DUT = """module dut(
+  input clk,
+  input rst,
+  input en,
+  input [7:0] a,
+  input [7:0] b,
+  output reg [15:0] acc,
+  output [7:0] mix
+);
+  reg [7:0] stage;
+  wire [8:0] sum;
+  assign sum = {OP_SUM};
+  assign mix = stage ^ ({OP_MIX});
+  always @(posedge clk) begin
+    if (rst) begin
+      acc <= 16'd0;
+      stage <= 8'd0;
+    end else if (en) begin
+      stage <= {OP_STAGE};
+      acc <= acc + {7'b0, sum};
+    end
+  end
+endmodule
+"""
+
+
+def _dut(op_sum="a + b", op_mix="a & b", op_stage="a ^ b"):
+    return (
+        _DUT.replace("{OP_SUM}", op_sum)
+        .replace("{OP_MIX}", op_mix)
+        .replace("{OP_STAGE}", op_stage)
+    )
+
+
+def _dut_problem(cycles=24, seed=3, problem_id="dut"):
+    module = GeneratedModule(
+        family="bench",
+        source=_dut(),
+        interface=ModuleInterface(
+            module_name="dut", clock="clk", reset="rst",
+            reset_active_high=True,
+            inputs=[("en", 1), ("a", 8), ("b", 8)],
+            outputs=[("acc", 16), ("mix", 8)],
+        ),
+        description="lockstep differential DUT",
+    )
+    return _problem_for(module, cycles, seed, problem_id)
+
+
+# ---------------------------------------------------------------------------
+# verdict identity across families and the problem set
+# ---------------------------------------------------------------------------
+
+
+class TestEveryFamilyVerdictIdentity:
+    @pytest.mark.parametrize("family", ALL_FAMILIES)
+    def test_candidates_identical(self, family):
+        module = generate_family(
+            family, DeterministicRNG(11).fork("lockdiff", family)
+        )
+        problem = _problem_for(module, problem_id=f"lk_{family}")
+        golden = problem.golden_source
+        sources = [
+            golden,
+            golden + "\n// comment-only variant\n",  # same AST, new text
+            _mutate(golden, 0),
+            _mutate(golden, 1),
+            golden,  # duplicate of the first source
+        ]
+        assert_lockstep_identical(problem, sources)
+
+
+class TestProblemSetVerdictIdentity:
+    def test_vereval_problems_identical(self):
+        problems = build_problem_set(n_problems=10)
+        for index, problem in enumerate(problems):
+            golden = problem.golden_source
+            sources = [
+                golden,
+                golden + "\n// variant\n",
+                _mutate(golden, index),
+            ]
+            assert_lockstep_identical(problem, sources)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    family=st.sampled_from(SEQUENTIAL_FAMILIES),
+    seed=st.integers(0, 2**20),
+    mutation=st.integers(0, 3),
+)
+def test_fuzz_verdict_identity(family, seed, mutation):
+    module = generate_family(
+        family, DeterministicRNG(seed).fork("lockfuzz", family)
+    )
+    problem = _problem_for(module, cycles=12, problem_id=f"lf_{family}")
+    golden = problem.golden_source
+    sources = [golden, golden + "\n// v\n", _mutate(golden, mutation)]
+    assert_lockstep_identical(problem, sources)
+
+
+# ---------------------------------------------------------------------------
+# engineered error scenarios: one lane fails while siblings pass
+# ---------------------------------------------------------------------------
+
+
+class TestErrorClassificationPerCandidate:
+    def test_division_by_zero_sibling(self):
+        # Same reads/writes as the golden node, so it groups and runs in
+        # lockstep; division by zero yields the two-state 0 in every
+        # backend and surfaces as a plain mismatch, identically.
+        problem = _dut_problem()
+        sources = [
+            _dut(),
+            _dut(op_sum="b + a"),
+            _dut(op_sum="{1'b0, b / (a - a)}"),
+        ]
+        outcomes = assert_lockstep_identical(problem, sources)
+        assert outcomes[0] == (True, "")
+        assert outcomes[1] == (True, "")
+        assert outcomes[2][0] is False
+
+    def test_comb_latch_sibling_takes_its_own_path(self):
+        # `always @* if (en) ...` levelizes but its schedule shape
+        # differs from the golden's, so it is a straggler: the siblings
+        # run in lockstep, the latch replays scalar — verdicts identical.
+        problem = _dut_problem()
+        latch = _dut().replace(
+            "assign mix = stage ^ (a & b);",
+            "reg [7:0] mix; always @(*) if (en) mix = stage ^ (a & b);",
+        )
+        assert "always @(*) if (en)" in latch
+        sources = [_dut(), _dut(op_sum="b + a"), latch]
+        assert_lockstep_identical(problem, sources)
+
+    def test_batch_divergence_lane_replays_scalar(self):
+        # Two candidates share a shape; one performs a dynamic field
+        # write that lands above bit 62 (BatchDivergence at runtime in
+        # lane form, raw-state bits in scalar form).  The lockstep run
+        # aborts and both replay scalar, so verdicts stay identical.
+        wide = """module dut(
+  input clk, input rst, input [3:0] a, input [7:0] b,
+  output reg [62:0] wide);
+  always @(posedge clk) begin
+    if (rst) wide <= 63'd0;
+    else wide[{INDEX} +: 8] <= b;
+  end
+endmodule
+"""
+        safe = wide.replace("{INDEX}", "{1'b0, a}")       # lo <= 23
+        diverging = wide.replace("{INDEX}", "{a, 3'b000}")  # lo up to 120
+        module = GeneratedModule(
+            family="bench", source=safe,
+            interface=ModuleInterface(
+                module_name="dut", clock="clk", reset="rst",
+                reset_active_high=True,
+                inputs=[("a", 4), ("b", 8)], outputs=[("wide", 63)],
+            ),
+            description="divergence DUT",
+        )
+        problem = _problem_for(module, cycles=24, problem_id="diverge")
+        # Shapes match, so the pair forms one lockstep group...
+        designs = [build(safe, "dut"), build(diverging, "dut")]
+        assert lockstep_shape_digest(designs[0]) == lockstep_shape_digest(
+            designs[1]
+        )
+        # ...and the diverging lane actually raises in lane form.
+        from repro.errors import SimulationError
+
+        group = build_lockstep_group(designs)
+        bench = LockstepTestbench(group, clock="clk", reset="rst")
+        bench.apply_reset()
+        with pytest.raises(SimulationError):
+            for vector in random_stimulus(designs[0], 24, seed=5):
+                bench.drive(vector)
+                bench.tick()
+        assert_lockstep_identical(problem, [safe, diverging])
+
+    def test_unlevelizable_and_wide_siblings(self):
+        problem = _dut_problem()
+        multi_driver = _dut().replace(
+            "assign sum = a + b;",
+            "assign sum = a + b; assign sum = b - a;",
+        )
+        wide = _dut().replace(
+            "reg [7:0] stage;", "reg [7:0] stage; reg [63:0] big;"
+        ).replace(
+            "stage <= a ^ b;", "stage <= a ^ b; big <= {56'd0, b};"
+        )
+        from repro.sim.compile import UncompilableDesign
+
+        with pytest.raises(UncompilableDesign):
+            lockstep_shape_digest(build(multi_driver, "dut"))
+        with pytest.raises(UnbatchableDesign):
+            lockstep_shape_digest(build(wide, "dut"))
+        sources = [_dut(), _dut(op_mix="b & a"), multi_driver, wide]
+        assert_lockstep_identical(problem, sources)
+
+    def test_golden_error_phases_propagate(self):
+        # A golden that dies mid-trace (combinational loop poked into
+        # oscillation is hard to build; use a for-loop bound instead)
+        # must preempt candidate verdicts identically in lockstep.
+        source = """module dut(
+  input clk, input rst, input [7:0] a, output reg [15:0] acc);
+  reg [7:0] i;
+  always @(posedge clk) begin
+    if (rst) acc <= 16'd0;
+    else begin
+      for (i = 8'd0; i < 8'd255; i = i + {7'd0, (a == 8'd0)})
+        acc <= acc + 16'd1;
+    end
+  end
+endmodule
+"""
+        module = GeneratedModule(
+            family="bench", source=source,
+            interface=ModuleInterface(
+                module_name="dut", clock="clk", reset="rst",
+                reset_active_high=True,
+                inputs=[("a", 8)], outputs=[("acc", 16)],
+            ),
+            description="loop-bound DUT",
+        )
+        problem = _problem_for(module, cycles=16, problem_id="loopy")
+        ref = harness._GoldenRef(problem)
+        if ref.error is None:
+            pytest.skip("stimulus never drove a == 0")
+        assert_lockstep_identical(
+            problem, [source, source + "\n// v\n", _mutate(source, 0)]
+        )
+
+
+class TestRetirementBookkeeping:
+    def test_first_mismatch_details_match_scalar(self):
+        problem = _dut_problem(cycles=32)
+        ref = harness._golden_ref(problem)
+        sources = [
+            _dut(),                      # passes all 32 cycles
+            _dut(op_stage="a & b"),      # diverges once stage differs
+            _dut(op_mix="a | b"),        # diverges on mix immediately
+            _dut(op_sum="a - b"),        # diverges on acc
+        ]
+        designs = [build(source, "dut") for source in sources]
+        many = harness._check_many_against_trace(
+            ref, designs, problem, sources=sources
+        )
+        scalar = [
+            harness._check_against_trace(ref, design, problem)
+            for design in designs
+        ]
+        assert many == scalar  # full EquivalenceResult dataclass equality
+        assert many[0].equivalent
+        assert {v.equivalent for v in many[1:]} == {False}
+        assert all(v.first_mismatch_cycle is not None for v in many[1:])
+
+    def test_kill_switch_forces_scalar(self, monkeypatch):
+        problem = _dut_problem()
+        calls = []
+        original = harness._run_lockstep_group
+
+        def spy(ref, designs, problem_):
+            calls.append(len(designs))
+            return original(ref, designs, problem_)
+
+        monkeypatch.setattr(harness, "_run_lockstep_group", spy)
+        sources = [_dut(), _dut(op_sum="b + a")]
+        check_candidates_lockstep(problem, sources)
+        assert calls == [2]
+        calls.clear()
+        monkeypatch.setattr(harness, "LOCKSTEP_CHECK_ENABLED", False)
+        off = check_candidates_lockstep(problem, sources)
+        assert calls == []
+        assert off == [
+            harness.check_candidate_source(problem, s) for s in sources
+        ]
+
+
+# ---------------------------------------------------------------------------
+# the lockstep runtime itself
+# ---------------------------------------------------------------------------
+
+
+class TestLockstepSimulator:
+    def test_lanes_match_scalar_sims(self):
+        sources = [_dut(), _dut(op_sum="b + a"), _dut(op_stage="a & b")]
+        designs = [build(source, "dut") for source in sources]
+        group = build_lockstep_group(designs)
+        bench = LockstepTestbench(group, clock="clk", reset="rst")
+        assert isinstance(bench.sim, LockstepSimulator)
+        bench.apply_reset()
+        refs = []
+        for design in designs:
+            ref = Testbench(design, clock="clk", reset="rst")
+            ref.apply_reset()
+            refs.append(ref)
+        for vector in random_stimulus(designs[0], 16, seed=9):
+            out = bench.step(vector)
+            for lane, ref in enumerate(refs):
+                expected = ref.step(vector)
+                got = {name: int(values[lane]) for name, values in out.items()}
+                assert got == expected, (lane, vector)
+
+    def test_retired_lanes_freeze(self):
+        designs = [build(_dut(), "dut"), build(_dut("b + a"), "dut")]
+        group = build_lockstep_group(designs)
+        bench = LockstepTestbench(group, clock="clk", reset="rst")
+        bench.apply_reset()
+        stimulus = random_stimulus(designs[0], 8, seed=2)
+        for vector in stimulus[:4]:
+            bench.step(vector)
+        frozen = bench.sim.peek_lanes("acc")[1]
+        bench.sim.retire_lanes(np.array([False, True]))
+        for vector in stimulus[4:]:
+            bench.step(vector)
+        assert bench.sim.peek_lanes("acc")[1] == frozen
+        assert bench.sim.active.tolist() == [True, False]
+
+    def test_single_lane_group_matches_batch(self):
+        design = build(_dut(), "dut")
+        group = build_lockstep_group([design])
+        lock = LockstepSimulator(group)
+        batch = BatchSimulator(build(_dut(), "dut"), n_lanes=1)
+        for vector in random_stimulus(design, 12, seed=4):
+            lock.poke_many(vector)
+            batch.poke_many(vector)
+            lock.poke("clk", 0); lock.poke("clk", 1)
+            batch.poke("clk", 0); batch.poke("clk", 1)
+            assert lock.peek_lanes("acc").tolist() == [batch.peek("acc")]
+
+    def test_mismatched_shapes_rejected(self):
+        latch = _dut().replace(
+            "assign mix = stage ^ (a & b);",
+            "reg [7:0] mix; always @(*) if (en) mix = stage ^ (a & b);",
+        )
+        with pytest.raises(UnbatchableDesign):
+            build_lockstep_group([build(_dut(), "dut"), build(latch, "dut")])
+
+
+# ---------------------------------------------------------------------------
+# up-front validation (the PR's bugfix satellite)
+# ---------------------------------------------------------------------------
+
+
+class TestLaneValidation:
+    def _design(self):
+        return build(
+            "module m(input [3:0] a, output [3:0] y); assign y = ~a;"
+            " endmodule", "m"
+        )
+
+    def test_zero_lanes_is_a_value_error(self):
+        with pytest.raises(ValueError, match="n_lanes"):
+            batch_design(self._design(), 0)
+        with pytest.raises(ValueError, match="n_lanes"):
+            BatchSimulator(self._design(), n_lanes=0)
+        with pytest.raises(ValueError, match="n_lanes"):
+            Simulator(self._design(), backend="batch", n_lanes=-3)
+
+    def test_empty_lockstep_group_is_a_value_error(self):
+        with pytest.raises(ValueError):
+            build_lockstep_group([])
+
+    def test_wrong_shape_poke_is_a_value_error(self):
+        sim = BatchSimulator(self._design(), n_lanes=4)
+        with pytest.raises(ValueError, match="4 lanes"):
+            sim.poke("a", np.array([1, 2, 3]))
+        with pytest.raises(ValueError, match="shape"):
+            sim.poke_many({"a": np.array([[1, 2], [3, 4]])})
+        sim.poke("a", np.array([1, 2, 3, 4]))  # the right shape still works
+        assert sim.peek_lanes("y").tolist() == [14, 13, 12, 11]
+
+    def test_negative_cycles_is_a_value_error(self):
+        with pytest.raises(ValueError, match="cycles"):
+            sweep_random_stimulus(self._design(), -1, seeds=(0,), clock=None)
+
+
+# ---------------------------------------------------------------------------
+# disk-cached grouping artifacts
+# ---------------------------------------------------------------------------
+
+
+class TestEvalkitLockstepWiring:
+    """The chunk-level check path must be verdict- and number-identical."""
+
+    def _records(self, problems, completions_per_problem):
+        from repro.evalkit.records import SampleRecord
+
+        records = []
+        for unit_index, problem in enumerate(problems):
+            prompt = problem.prompt()
+            for sample_index, completion in enumerate(
+                completions_per_problem
+            ):
+                records.append(
+                    SampleRecord(
+                        task_id="passk", model_name="m",
+                        unit_id=problem.problem_id, unit_index=unit_index,
+                        sample_index=sample_index, temperature=0.2,
+                        max_new_tokens=64, prompt=prompt,
+                        completion=completion,
+                    )
+                )
+        return records
+
+    def test_check_batch_matches_check(self):
+        import copy
+
+        from repro.evalkit.tasks import PassAtKChecker
+
+        problems = build_problem_set(n_problems=3, seed=41)
+        bodies = ["\nendmodule", "\n  garbage\nendmodule", "endmodule"]
+        records = self._records(problems, bodies)
+        batch_checker = PassAtKChecker(problems)
+        single_checker = PassAtKChecker(problems)
+        batched = batch_checker.check_batch(copy.deepcopy(records))
+        singled = [single_checker.check(r) for r in copy.deepcopy(records)]
+        assert [(r.passed, r.failure_reason) for r in batched] == [
+            (r.passed, r.failure_reason) for r in singled
+        ]
+        # both paths fill the same memo keys
+        assert set(batch_checker._verdicts) == set(single_checker._verdicts)
+
+    def test_check_stage_routes_batches_and_singles(self):
+        from repro.evalkit.stages import CheckStage
+        from repro.evalkit.records import SampleRecord
+
+        class BatchingChecker:
+            def __init__(self):
+                self.batches = []
+
+            def check_batch(self, records):
+                self.batches.append(len(records))
+                for record in records:
+                    record.passed = True
+                return records
+
+        class SingleChecker:
+            def __init__(self):
+                self.calls = 0
+
+            def check(self, record):
+                self.calls += 1
+                record.passed = False
+                return record
+
+        batching, single = BatchingChecker(), SingleChecker()
+        stage = CheckStage({"b": batching, "s": single}, cache_dir="")
+
+        def rec(task_id, i):
+            return SampleRecord(
+                task_id=task_id, model_name="m", unit_id=str(i),
+                unit_index=i, sample_index=0, temperature=0.2,
+                max_new_tokens=8,
+            )
+
+        chunk = [rec("b", 0), rec("s", 1), rec("b", 2), rec("s", 3)]
+        out = stage.process(chunk)
+        assert [r.task_id for r in out] == ["b", "s", "b", "s"]  # order kept
+        assert [r.passed for r in out] == [True, False, True, False]
+        assert batching.batches == [2]
+        assert single.calls == 2
+
+    def test_evaluate_model_identical_with_lockstep_off(
+        self, tiny_model, monkeypatch
+    ):
+        from repro.vereval import EvalConfig, evaluate_model
+
+        problems = build_problem_set(n_problems=4, seed=47)
+        config = EvalConfig(
+            n_samples=3, ks=(1, 3), temperatures=(0.2,), max_new_tokens=96
+        )
+        with_lockstep = evaluate_model(tiny_model, problems, config)
+        monkeypatch.setattr(harness, "LOCKSTEP_CHECK_ENABLED", False)
+        without = evaluate_model(tiny_model, problems, config)
+        assert with_lockstep == without
+
+
+class TestShapeCache:
+    def test_shape_digest_round_trip(self, tmp_path):
+        previous = sim_cache.configure(str(tmp_path))
+        try:
+            design = build(_dut(), "dut")
+            digest = lockstep_shape_digest(design)
+            assert sim_cache.get_shape(_dut(), "dut") is None  # cold
+            assert sim_cache.put_shape(_dut(), "dut", digest)
+            assert sim_cache.get_shape(_dut(), "dut") == digest
+            assert sim_cache.put_shape(
+                "bad source", "dut", sim_cache.UNBATCHABLE_SHAPE
+            )
+            assert (
+                sim_cache.get_shape("bad source", "dut")
+                == sim_cache.UNBATCHABLE_SHAPE
+            )
+        finally:
+            sim_cache.configure(previous)
+
+    def test_lockstep_checking_with_warm_cache_identical(self, tmp_path):
+        problem = _dut_problem(problem_id="cached")
+        sources = [_dut(), _dut(op_sum="b + a"), _mutate(_dut(), 0)]
+        baseline = check_candidates_lockstep(problem, sources)
+        previous = sim_cache.configure(str(tmp_path))
+        try:
+            harness._GOLDEN_CACHE.clear()
+            cold = check_candidates_lockstep(problem, sources)
+            harness._GOLDEN_CACHE.clear()
+            warm = check_candidates_lockstep(problem, sources)
+        finally:
+            sim_cache.configure(previous)
+            harness._GOLDEN_CACHE.clear()
+        assert cold == warm == baseline
