@@ -126,6 +126,13 @@ def test_multi_seed_sweep_speedup(benchmark, fifo_design):
         f"  ({lane_cycles / batch_seconds:10.0f} lane-cycles/s)\n"
         f"speedup:                       {speedup:8.2f} x\n"
         f"(per-lane traces and error classification identical)",
+        values={
+            "lanes": _SWEEP_LANES,
+            "cycles": _SWEEP_CYCLES,
+            "scalar_seconds": scalar_seconds,
+            "batch_seconds": batch_seconds,
+            "speedup": speedup,
+        },
     )
     assert speedup >= 3.0, (
         f"batch sweep only {speedup:.2f}x faster than scalar episodes"
@@ -183,6 +190,12 @@ def test_combinational_all_vectors_speedup():
         f"  ({checks / fast_seconds:10.0f} vectors/s)\n"
         f"speedup:                   {speedup:8.2f} x\n"
         f"(verdicts identical, including first-mismatch bookkeeping)",
+        values={
+            "vector_checks": checks,
+            "scalar_seconds": slow_seconds,
+            "batch_seconds": fast_seconds,
+            "speedup": speedup,
+        },
     )
     assert speedup >= 2.0, (
         f"all-vectors checking only {speedup:.2f}x faster than the loop"
@@ -313,6 +326,13 @@ def test_sequential_lockstep_passk_speedup():
         f"speedup:                    {speedup:8.2f} x\n"
         f"(verdicts candidate-for-candidate identical, end to end: parse + "
         f"elaborate + compile + simulate + verdict)",
+        values={
+            "candidates": _LOCKSTEP_CANDIDATES,
+            "cycles": _LOCKSTEP_CYCLES,
+            "scalar_seconds": scalar_seconds,
+            "lockstep_seconds": lockstep_seconds,
+            "speedup": speedup,
+        },
     )
     assert speedup >= 2.0, (
         f"lockstep checking only {speedup:.2f}x faster than the scalar loop"
@@ -377,6 +397,12 @@ def test_compile_cache_warm_vs_cold(tmp_path):
         f"warm disk cache (hits):    {warm_seconds:8.3f} s\n"
         f"speedup:                   {speedup:8.2f} x\n"
         f"(verdicts identical with the cache disabled, cold, and warm)",
+        values={
+            "candidate_checks": checks,
+            "cold_seconds": cold_seconds,
+            "warm_seconds": warm_seconds,
+            "speedup": speedup,
+        },
     )
     assert speedup >= 1.5, (
         f"warm compile cache only {speedup:.2f}x faster than cold"

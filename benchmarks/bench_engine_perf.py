@@ -99,6 +99,12 @@ def test_chunked_engine_speedup(benchmark, raw_files):
         f"engine chunked path:  {engine_seconds:8.3f} s\n"
         f"speedup:              {speedup:8.2f} x\n"
         f"(outputs byte-identical)",
+        values={
+            "corpus_files": len(raw_files),
+            "serial_seconds": serial_seconds,
+            "engine_seconds": engine_seconds,
+            "speedup": speedup,
+        },
     )
     assert speedup >= 2.0, f"engine only {speedup:.2f}x faster than seed path"
 
@@ -136,6 +142,13 @@ def test_incremental_ingest_speedup(benchmark, raw_files):
         f"incremental ingest:   {incremental_seconds:8.3f} s\n"
         f"speedup:              {speedup:8.2f} x\n"
         f"(cumulative output identical to full recuration)",
+        values={
+            "corpus_files": len(corpus),
+            "increment_files": len(batch),
+            "full_seconds": full_seconds,
+            "incremental_seconds": incremental_seconds,
+            "speedup": speedup,
+        },
     )
     assert speedup >= 5.0, f"incremental only {speedup:.2f}x faster"
 

@@ -260,6 +260,12 @@ def test_evalkit_speedup(benchmark, trainer, problems):
             f"evalkit plan:         {evalkit_seconds:8.3f} s\n"
             f"speedup:              {speedup:8.2f} x\n"
             f"(pass@k, outcomes, and per-sample seeds identical)",
+            values={
+                "samples": samples,
+                "serial_seconds": serial_seconds,
+                "evalkit_seconds": evalkit_seconds,
+                "speedup": speedup,
+            },
         )
         assert speedup >= 2.0, (
             f"evalkit only {speedup:.2f}x faster than seed path"

@@ -17,6 +17,20 @@ def test_funnel_ratios(benchmark, freeset_result, raw_files):
         funnel.to_text()
         + f"\nfinal rows: {freeset_result.dataset.rows}"
         + f"\nfinal size: {freeset_result.dataset.size_bytes / 1e6:.2f} MB",
+        values={
+            "initial_count": funnel.initial_count,
+            "final_count": funnel.final_count,
+            "final_rows": freeset_result.dataset.rows,
+            "final_size_bytes": freeset_result.dataset.size_bytes,
+            "stages": [
+                {
+                    "name": stage.name,
+                    "in": stage.in_count,
+                    "out": stage.out_count,
+                }
+                for stage in funnel.stages
+            ],
+        },
     )
 
     license_stage = funnel.stage("license_filter")

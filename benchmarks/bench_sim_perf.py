@@ -114,6 +114,13 @@ def test_compiled_backend_speedup(benchmark, fifo_module):
         f"compile_design time:  {compile_seconds * 1e3:8.2f} ms"
         f"  (amortized after ~{amortize_cycles:.0f} interpreter cycles)\n"
         f"(final simulator state identical across backends)",
+        values={
+            "cycles": _FIFO_CYCLES,
+            "interp_seconds": interp_seconds,
+            "compiled_seconds": compiled_seconds,
+            "compile_seconds": compile_seconds,
+            "speedup": speedup,
+        },
     )
     assert speedup >= 5.0, (
         f"compiled backend only {speedup:.2f}x faster than interpreter"
@@ -165,6 +172,12 @@ def test_end_to_end_eval_speedup(trainer):
         f"compiled backend:     {compiled_seconds:8.3f} s\n"
         f"end-to-end speedup:   {speedup:8.2f} x\n"
         f"(pass@k, outcomes, and failure reasons identical)",
+        values={
+            "samples": samples,
+            "interp_seconds": interp_seconds,
+            "compiled_seconds": compiled_seconds,
+            "speedup": speedup,
+        },
     )
     assert speedup >= 2.0, (
         f"end-to-end eval only {speedup:.2f}x faster on the compiled backend"

@@ -11,7 +11,9 @@ Each bench writes its regenerated table/figure series into
 
 from __future__ import annotations
 
+import json
 import pathlib
+from typing import Any, Dict, Optional
 
 import pytest
 
@@ -35,11 +37,24 @@ BENCH_WORLD_CONFIG = WorldConfig(
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
-def write_result(name: str, text: str) -> None:
-    """Persist a regenerated table/figure and echo it for -s runs."""
+def write_result(
+    name: str, text: str, values: Optional[Dict[str, Any]] = None
+) -> None:
+    """Persist a regenerated table/figure and echo it for -s runs.
+
+    ``values`` optionally adds a machine-readable sibling,
+    ``results/<name>.json`` — the numbers CI and trend tooling consume
+    without scraping the text table.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"{name}.txt"
     path.write_text(text + "\n")
+    if values is not None:
+        json_path = RESULTS_DIR / f"{name}.json"
+        json_path.write_text(
+            json.dumps({"bench": name, **values}, indent=2, sort_keys=True)
+            + "\n"
+        )
     print(f"\n=== {name} ===\n{text}\n")
 
 

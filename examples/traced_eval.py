@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""A small traced evaluation run: observability end to end.
+
+Runs a two-problem pass@k plan under a two-worker process pool with
+``repro.obs`` forced into trace mode, then prints the run's telemetry
+summary.  The trace artifacts (``events.jsonl``, a Perfetto-loadable
+``trace.json``, ``telemetry.json``) land under ``REPRO_OBS_DIR``
+(default ``repro_obs/``); render them with::
+
+    python tools/trace_report.py repro_obs
+
+CI runs this script as its traced-eval smoke test and uploads the
+resulting trace directory as a build artifact.
+"""
+
+from repro import obs
+from repro.engine import ParallelExecutor
+from repro.evalkit import EvalPlan, PassAtKTask
+from repro.llm import LanguageModel
+from repro.vereval import EvalConfig, build_problem_set
+
+
+def main() -> None:
+    # Trace mode regardless of the environment; REPRO_OBS_DIR still
+    # picks the export root (configure(None) defers to it).
+    obs.configure(obs.MODE_TRACE)
+
+    model = LanguageModel.pretrain(
+        "demo",
+        ["module m(input a, output y); assign y = ~a; endmodule"] * 6,
+    )
+    task = PassAtKTask(
+        build_problem_set(n_problems=2),
+        EvalConfig(n_samples=4, ks=(1,), temperatures=(0.4,),
+                   max_new_tokens=64),
+    )
+    executor = ParallelExecutor(workers=2)
+    plan = EvalPlan([model], [task], executor=executor)
+    try:
+        run = plan.run()
+    finally:
+        executor.close()
+
+    print(run.result(model.name, "passk").summary())
+    print()
+    print(run.telemetry.to_text())
+    print(f"\ntrace artifacts in {obs.obs_dir()}/ — render with "
+          "`python tools/trace_report.py`")
+
+
+if __name__ == "__main__":
+    main()

@@ -28,6 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, List, Mapping, Optional, Tuple
 
+from repro import obs
 from repro.curation.report import FunnelReport, funnel_from_graph
 from repro.dedup.dedup import DEFAULT_DEDUP_THRESHOLD
 from repro.github.scraper import ScrapedFile
@@ -147,7 +148,14 @@ class CurationPipeline:
         self, files: Iterable[ScrapedFile], name: str = "FreeSet"
     ) -> CuratedDataset:
         graph = self.compile()
-        current = graph.run(files)
+        with obs.run_capture("curation", dataset=name):
+            current = graph.run(files)
+            # Funnel counters mirror the FunnelReport rows so a traced
+            # curation shows up in the same registry as eval runs.
+            obs.count("curation.files_in", graph.items_in)
+            obs.count("curation.files_kept", len(current))
+            for stat in graph.stage_stats():
+                obs.count(f"curation.{stat.stage}.removed", stat.removed)
         return CuratedDataset(
             name=name,
             files=current,

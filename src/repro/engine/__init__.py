@@ -20,8 +20,10 @@ Layout:
 
 from repro.engine.checkpoint import CheckpointStore
 from repro.engine.executor import (
+    ChunkTrace,
     ParallelExecutor,
     SerialExecutor,
+    StageStat,
     apply_stages,
     auto_executor,
 )
@@ -50,8 +52,10 @@ from repro.engine.stages import (
 
 __all__ = [
     "CheckpointStore",
+    "ChunkTrace",
     "ParallelExecutor",
     "SerialExecutor",
+    "StageStat",
     "apply_stages",
     "auto_executor",
     "DEFAULT_CHUNK_SIZE",

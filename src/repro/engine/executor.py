@@ -2,10 +2,16 @@
 
 The graph hands an executor a *fused run* of parallel-safe stages plus a
 stream of chunks; the executor yields, **in submission order**, one
-``(out_chunk, stats)`` pair per input chunk, where ``stats`` is a list of
-``(stage_name, in_count, out_count, seconds)`` tuples measured where the
-work actually ran.  Order preservation is what lets the parallel path
-stay byte-identical to the serial one.
+``(out_chunk, trace)`` pair per input chunk, where ``trace`` is a
+:class:`ChunkTrace`: one typed :class:`StageStat` per stage measured
+where the work actually ran, plus the chunk's drained
+:class:`~repro.obs.ObsBuffer` (spans and metrics recorded while the
+chunk executed, wherever that was).  Order preservation is what lets the
+parallel path stay byte-identical to the serial one — and is also what
+makes trace merging deterministic: the coordinator folds each chunk's
+buffer into the run trace in submission order, so a
+:class:`ParallelExecutor` trace carries exactly the spans a serial run
+would, re-parented under the dispatching phase.
 """
 
 from __future__ import annotations
@@ -14,16 +20,70 @@ import os
 import pickle
 import time
 from collections import deque
-from typing import Any, Dict, Iterable, Iterator, List, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
-ChunkResult = Tuple[List[Any], List[Tuple[str, int, int, float]]]
+from repro import obs
+
+
+@dataclass
+class StageStat:
+    """One stage's accounting for one chunk (or one aggregated run).
+
+    Replaces the untyped ``(stage_name, n_in, n_out, seconds)`` tuples
+    the executors used to emit.  The tuple form survives as the
+    deprecated :attr:`as_tuple` property (and via iteration/indexing) so
+    callers that still unpack four values keep working.
+    """
+
+    stage: str
+    n_in: int
+    n_out: int
+    seconds: float
+
+    @property
+    def removed(self) -> int:
+        return self.n_in - self.n_out
+
+    @property
+    def as_tuple(self) -> Tuple[str, int, int, float]:
+        """Deprecated: the legacy stat-tuple form."""
+        return (self.stage, self.n_in, self.n_out, self.seconds)
+
+    def __iter__(self):
+        # Deprecated tuple-unpacking compatibility:
+        # ``name, n_in, n_out, seconds = stat`` keeps working.
+        return iter(self.as_tuple)
+
+    def __getitem__(self, index):
+        return self.as_tuple[index]
+
+
+@dataclass
+class ChunkTrace:
+    """Everything one chunk's execution reported back."""
+
+    stats: List[StageStat] = field(default_factory=list)
+    #: spans/metrics recorded while the chunk ran (None when nothing was)
+    obs: Optional[obs.ObsBuffer] = None
+
+    def __iter__(self):
+        # Legacy compatibility: ``for name, n_in, n_out, s in trace``
+        # iterates the per-stage stats like the old stats list did.
+        return iter(self.stats)
+
+
+ChunkResult = Tuple[List[Any], ChunkTrace]
 
 #: per-worker-process cache of deserialized fused stage lists, so the
 #: same stages are unpickled once per worker instead of once per chunk
 _WORKER_STAGE_CACHE: Dict[bytes, List] = {}
 
 
-def _apply_pickled_stages(stage_blob: bytes, chunk: Sequence[Any]) -> ChunkResult:
+def _apply_pickled_stages(
+    stage_blob: bytes, chunk: Sequence[Any], obs_mode: str = "off"
+) -> ChunkResult:
+    obs.ensure_mode(obs_mode)
     stages = _WORKER_STAGE_CACHE.get(stage_blob)
     if stages is None:
         if len(_WORKER_STAGE_CACHE) > 8:
@@ -36,16 +96,28 @@ def _apply_pickled_stages(stage_blob: bytes, chunk: Sequence[Any]) -> ChunkResul
 def apply_stages(stages: Sequence, chunk: Sequence[Any]) -> ChunkResult:
     """Run ``chunk`` through ``stages`` sequentially, timing each stage.
 
-    Module-level so process pools can pickle it by reference.
+    Module-level so process pools can pickle it by reference.  All
+    observability recorded while the chunk runs — the chunk/stage spans
+    opened here and anything the stages themselves record — is captured
+    into a fresh frame and shipped back inside the :class:`ChunkTrace`,
+    which is what keeps pool-worker traces lossless.
     """
-    out: List[Any] = list(chunk)
-    stats: List[Tuple[str, int, int, float]] = []
-    for stage in stages:
-        n_in = len(out)
-        start = time.perf_counter()
-        out = stage.process(out)
-        stats.append((stage.name, n_in, len(out), time.perf_counter() - start))
-    return out, stats
+    obs.push_frame()
+    try:
+        out: List[Any] = list(chunk)
+        stats: List[StageStat] = []
+        with obs.span("engine.chunk", n_in=len(out), stages=len(stages)):
+            for stage in stages:
+                n_in = len(out)
+                with obs.span(f"engine.stage.{stage.name}", n_in=n_in) as sp:
+                    start = time.perf_counter()
+                    out = stage.process(out)
+                    seconds = time.perf_counter() - start
+                    sp.set(n_out=len(out))
+                stats.append(StageStat(stage.name, n_in, len(out), seconds))
+    finally:
+        buffer = obs.pop_frame()
+    return out, ChunkTrace(stats=stats, obs=buffer)
 
 
 class SerialExecutor:
@@ -104,6 +176,10 @@ class ParallelExecutor:
             self._blob_stages = stages
             self._blob = pickle.dumps(stages, protocol=pickle.HIGHEST_PROTOCOL)
         stage_blob = self._blob
+        # The mode travels with every chunk (cheap: one short string), so
+        # workers under any pool start method — and workers forked before
+        # a configure() call — record exactly what the coordinator wants.
+        obs_mode = obs.mode()
         pending: deque = deque()
         iterator = iter(chunks)
         exhausted = False
@@ -115,7 +191,9 @@ class ParallelExecutor:
                     exhausted = True
                     break
                 pending.append(
-                    pool.submit(_apply_pickled_stages, stage_blob, chunk)
+                    pool.submit(
+                        _apply_pickled_stages, stage_blob, chunk, obs_mode
+                    )
                 )
             if not pending:
                 return

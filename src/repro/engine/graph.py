@@ -14,8 +14,9 @@ from __future__ import annotations
 import time
 from typing import Any, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.engine.checkpoint import CheckpointStore
-from repro.engine.executor import SerialExecutor
+from repro.engine.executor import SerialExecutor, StageStat
 from repro.engine.stage import Stage, StageMetrics
 
 DEFAULT_CHUNK_SIZE = 512
@@ -115,9 +116,15 @@ class StageGraph:
     def _pooled_phase(
         self, stages: List[Stage], stream: Iterator[List[Any]]
     ) -> Iterator[List[Any]]:
-        for out_chunk, stats in self.executor.map_chunks(stages, stream):
-            for name, n_in, n_out, seconds in stats:
-                self._metrics_by_name[name].record_chunk(n_in, n_out, seconds)
+        for out_chunk, trace in self.executor.map_chunks(stages, stream):
+            for stat in trace.stats:
+                self._metrics_by_name[stat.stage].record_chunk(
+                    stat.n_in, stat.n_out, stat.seconds
+                )
+            # Fold the chunk's spans/metrics into the run trace here, in
+            # submission order: parallel traces end up as complete (and
+            # as deterministic) as serial ones.
+            obs.merge_buffer(trace.obs)
             yield out_chunk
 
     def _inline_phase(
@@ -125,15 +132,27 @@ class StageGraph:
     ) -> Iterator[List[Any]]:
         metric = self._metrics_by_name[stage.name]
         for chunk in stream:
-            start = time.perf_counter()
-            out = stage.process(chunk)
-            metric.record_chunk(len(chunk), len(out), time.perf_counter() - start)
+            with obs.span(
+                f"engine.stage.{stage.name}", n_in=len(chunk), inline=True
+            ) as sp:
+                start = time.perf_counter()
+                out = stage.process(chunk)
+                seconds = time.perf_counter() - start
+                sp.set(n_out=len(out))
+            metric.record_chunk(len(chunk), len(out), seconds)
             yield out
 
     # -- introspection ----------------------------------------------------
 
     def metric(self, name: str) -> Optional[StageMetrics]:
         return self._metrics_by_name.get(name)
+
+    def stage_stats(self) -> List[StageStat]:
+        """Aggregate per-stage accounting as typed :class:`StageStat` rows."""
+        return [
+            StageStat(m.name, m.in_count, m.out_count, m.wall_seconds)
+            for m in self.metrics
+        ]
 
     def to_text(self) -> str:
         """Human-readable per-stage throughput table."""

@@ -46,6 +46,7 @@ import hashlib
 from itertools import islice
 from typing import Iterator, List, Mapping, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.engine import CheckpointStore, StageGraph, build_stages, iter_chunks
 from repro.errors import EvaluationError
 from repro.llm.model import LanguageModel
@@ -165,6 +166,24 @@ class EvalPlan:
         exists; a completed snapshot just replays its result."""
         if checkpoint_every < 1:
             raise ValueError("checkpoint_every must be >= 1")
+        with obs.run_capture(
+            "eval_plan",
+            models=len(self.models),
+            tasks=len(self.tasks),
+            specs=self.total_specs(),
+        ) as capture:
+            run = self._run(store, tag, checkpoint_every)
+        # Built when the capture closes; the summary travels on the
+        # result so callers see it without touching the obs module.
+        run.telemetry = capture.telemetry
+        return run
+
+    def _run(
+        self,
+        store: Optional[CheckpointStore],
+        tag: str,
+        checkpoint_every: int,
+    ) -> RunResult:
         graph = self.compile()
         sink = graph.stages[-1]
         assert isinstance(sink, AggregateStage)
@@ -198,6 +217,7 @@ class EvalPlan:
                 engine_state["stages"][sink.name] = records
                 graph.restore_state(engine_state)
                 done = graph.items_in
+                obs.count("checkpoint.resume_skipped", done)
         stream: Iterator[SampleRecord] = self.specs()
         if done:
             stream = islice(stream, done, None)
@@ -243,6 +263,7 @@ class EvalPlan:
             task_ids=[t.task_id for t in self.tasks],
             records=records,
             engine_report=graph.to_text(),
+            stage_stats=graph.stage_stats(),
         )
         for model in self.models:
             for task in self.tasks:

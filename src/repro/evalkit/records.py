@@ -71,6 +71,12 @@ class RunResult:
         default_factory=dict
     )
     engine_report: str = ""
+    #: per-stage :class:`~repro.engine.StageStat` rows (typed counterpart
+    #: of the ``engine_report`` text table)
+    stage_stats: List[Any] = field(default_factory=list)
+    #: :class:`~repro.obs.export.RunTelemetry` for the run, or None when
+    #: observability was off
+    telemetry: Optional[Any] = None
 
     def result(self, model_name: str, task_id: str) -> Any:
         try:

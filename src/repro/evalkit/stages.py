@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Mapping, Sequence
 
+from repro import obs
 from repro.engine import MapStage, Stage, StatefulStage, register_stage
 from repro.evalkit.records import SampleRecord
 from repro.llm.model import LanguageModel
@@ -90,12 +91,18 @@ class GenerationStage(MapStage):
                 self._prompt_tokens.clear()
             tokens = model.encode_prompt(record.prompt)
             self._prompt_tokens[key] = tokens
-        record.completion = model.generate(
-            record.prompt,
-            self._config(record),
-            seed=record.seed,
-            prompt_tokens=tokens,
-        )
+        with obs.span(
+            "eval.generate",
+            model=record.model_name,
+            unit=record.unit_id,
+            sample=record.sample_index,
+        ):
+            record.completion = model.generate(
+                record.prompt,
+                self._config(record),
+                seed=record.seed,
+                prompt_tokens=tokens,
+            )
         return record
 
     def __getstate__(self):
@@ -144,6 +151,25 @@ class CheckStage(MapStage):
     def map_item(self, record: SampleRecord) -> SampleRecord:
         return self.checkers[record.task_id].check(record)
 
+    @staticmethod
+    def _note_candidate(record: SampleRecord) -> None:
+        # One zero-duration trace event + one counter per verdict: the
+        # per-candidate accounting the acceptance check compares against
+        # the scalar bookkeeping.  Same call under the batched and the
+        # per-record path, so both executors and both check paths emit
+        # identical per-candidate streams.
+        obs.event(
+            "eval.candidate",
+            task=record.task_id,
+            unit=record.unit_id,
+            sample=record.sample_index,
+            passed=record.passed,
+            reason=record.failure_reason,
+        )
+        obs.count("eval.candidates")
+        if record.passed:
+            obs.count("eval.candidates_passed")
+
     def process(self, chunk: Sequence[SampleRecord]) -> List[SampleRecord]:
         by_task: Dict[str, List[int]] = {}
         for index, record in enumerate(chunk):
@@ -152,13 +178,19 @@ class CheckStage(MapStage):
         for task_id, indices in by_task.items():
             checker = self.checkers[task_id]
             check_batch = getattr(checker, "check_batch", None)
-            if check_batch is not None:
-                checked = check_batch([chunk[i] for i in indices])
-                for index, record in zip(indices, checked):
-                    results[index] = record
-            else:
-                for index in indices:
-                    results[index] = checker.check(chunk[index])
+            with obs.span(
+                "eval.check_chunk", task=task_id, records=len(indices)
+            ):
+                if check_batch is not None:
+                    checked = check_batch([chunk[i] for i in indices])
+                    for index, record in zip(indices, checked):
+                        results[index] = record
+                        self._note_candidate(record)
+                else:
+                    for index in indices:
+                        record = checker.check(chunk[index])
+                        results[index] = record
+                        self._note_candidate(record)
         return results
 
     def __setstate__(self, state):

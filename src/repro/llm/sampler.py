@@ -12,6 +12,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.llm.ngram import NGramLM
 from repro.llm.tokenizer import BPETokenizer
 from repro.utils.rng import DeterministicRNG
@@ -90,11 +91,16 @@ class Sampler:
                 for stop in config.stop_strings:
                     pos = window.find(stop)
                     if pos >= 0:
+                        # One metrics write per completion, not per token.
+                        obs.count("sampler.tokens", len(text_parts))
+                        obs.count("sampler.completions")
                         text = "".join(text_parts)
                         end = text.find(stop) + (
                             len(stop) if config.include_stop else 0
                         )
                         return text[:end]
+        obs.count("sampler.tokens", len(text_parts))
+        obs.count("sampler.completions")
         return "".join(text_parts)
 
     def generate_batch(

@@ -1741,6 +1741,12 @@ class LockstepSimulator(BatchSimulator):
             np.zeros((depth, n_lanes), dtype=_I64) for depth in rep.mem_depths
         ]
         self._max_rounds = 2 * rep.comb_count + 16
+        #: plain-int settle accounting, read by the lockstep harness and
+        #: reported into the repro.obs metrics registry once per group
+        #: run (never per settle — this loop is hot)
+        self.stat_settles = 0
+        self.stat_nodes_run = 0
+        self.stat_nodes_skipped = 0
         self._dirty = set(range(rep.n_signals + len(rep.mem_depths)))
         # Every node is forced into the first settle (constant-driven
         # nodes have empty read sets, so dirtiness alone would skip them).
@@ -1798,9 +1804,11 @@ class LockstepSimulator(BatchSimulator):
         node_reads = group.node_reads
         node_writes = group.node_writes
         comb_plan = group.comb_plan
+        nodes_run = 0
         for node in self.bdesign.topo:
             if node not in forced and dirty.isdisjoint(node_reads[node]):
                 continue
+            nodes_run += 1
             node_variants = comb_plan[node]
             if len(node_variants) == 1:
                 # One body covers every lane: take the unpredicated
@@ -1816,6 +1824,9 @@ class LockstepSimulator(BatchSimulator):
                     if pred.any():
                         pred_run(st, mems, pred)
             dirty |= node_writes[node]
+        self.stat_settles += 1
+        self.stat_nodes_run += nodes_run
+        self.stat_nodes_skipped += len(self.bdesign.topo) - nodes_run
         self._dirty = set()
         self._forced = set()
 

@@ -8,17 +8,23 @@ re-elaborate verbatim-identical candidate sources in every fresh process.
 This module gives those paths a disk tier:
 
 * artifacts are pickled under a content-addressed key —
-  ``sha256(kind, BACKEND_VERSION, source, module name, *extra)`` — so a
-  cache entry can never alias a different source text, module, or
-  protocol, and bumping :data:`BACKEND_VERSION` (whenever backend
-  semantics or artifact layout change) strands every stale entry
-  unreadably rather than silently serving it;
+  ``sha256(kind, source, module name, *extra)`` — so a cache entry can
+  never alias a different source text, module, or protocol; every entry
+  carries :data:`BACKEND_VERSION` in an envelope, and a version mismatch
+  (the entry predates a backend-semantics bump) is **counted and
+  evicted** rather than silently served or stranded on disk forever;
 * the cache root comes from the ``REPRO_SIM_CACHE`` environment variable
   or :func:`configure`; when neither is set every call is a cheap no-op,
   so the tier is strictly opt-in;
 * writes are atomic (temp file + ``os.replace``) so concurrent pool
-  workers can share one directory, and unreadable/corrupt entries are
-  deleted and treated as misses.
+  workers can share one directory; unreadable/corrupt entries are
+  deleted, treated as misses, and counted (a one-line warning fires the
+  first time a corrupt entry is evicted in a process);
+* every outcome feeds the :mod:`repro.obs` metrics registry
+  (``sim.cache.hit`` / ``.miss`` / ``.store`` / ``.evict`` /
+  ``.corrupt`` / ``.version_mismatch``), and :func:`stats` snapshots
+  those counters — so cache behaviour is a measured quantity instead of
+  an anecdote.
 
 Consumers: :func:`repro.vereval.harness._golden_ref` persists whole
 golden artifact bundles (design + stimulus + output trace),
@@ -33,11 +39,13 @@ directory to pool workers.
 from __future__ import annotations
 
 import hashlib
+import logging
 import os
 import pickle
 import tempfile
-from typing import Any, Optional
+from typing import Any, Dict, Optional
 
+from repro import obs
 from repro.sim.elaborate import Design
 
 __all__ = [
@@ -46,6 +54,7 @@ __all__ = [
     "configure",
     "load",
     "store",
+    "stats",
     "get_design",
     "put_design",
     "get_shape",
@@ -53,15 +62,22 @@ __all__ = [
     "UNBATCHABLE_SHAPE",
 ]
 
-#: Key component shared by every artifact.  Bump on any change to backend
-#: semantics or to the layout of pickled artifacts: old entries then miss
-#: (their keys no longer match) instead of deserializing stale behaviour.
-BACKEND_VERSION = 4
+#: Version carried inside every entry's envelope.  Bump on any change to
+#: backend semantics or to the layout of pickled artifacts: stale entries
+#: are then counted as ``sim.cache.version_mismatch`` and evicted instead
+#: of deserializing stale behaviour (or leaking on disk forever, as the
+#: old key-embedded-version scheme did).
+BACKEND_VERSION = 5
 
 _ENV = "REPRO_SIM_CACHE"
 
 #: process-wide override; None defers to the environment, "" disables
 _configured: Optional[str] = None
+
+_log = logging.getLogger("repro.sim.cache")
+
+#: set after the first corrupt-entry eviction warning in this process
+_warned_corrupt = False
 
 
 def cache_dir() -> Optional[str]:
@@ -85,9 +101,21 @@ def configure(path: Optional[str]) -> Optional[str]:
     return previous
 
 
+def stats() -> Dict[str, float]:
+    """Snapshot of the ``sim.cache.*`` counters recorded so far.
+
+    Counters accumulate per process and, after a parallel run, include
+    the worker-side counts merged home through the executor's chunk
+    buffers (see :mod:`repro.obs`).
+    """
+    snapshot = obs.counters("sim.cache.")
+    return {name.split("sim.cache.", 1)[1]: value
+            for name, value in snapshot.items()}
+
+
 def _key(kind: str, *parts: str) -> str:
     digest = hashlib.sha256()
-    digest.update(repr((kind, BACKEND_VERSION)).encode("utf-8"))
+    digest.update(repr(("repro-sim-cache", kind)).encode("utf-8"))
     for part in parts:
         digest.update(b"\x1f")
         digest.update(part.encode("utf-8"))
@@ -99,11 +127,34 @@ def _path_for(root: str, key: str) -> str:
     return os.path.join(root, key[:2], key + ".pkl")
 
 
+def _evict(path: str) -> None:
+    try:
+        os.remove(path)
+        obs.count("sim.cache.evict")
+    except OSError:
+        pass
+
+
+def _evict_corrupt(path: str) -> None:
+    global _warned_corrupt
+    obs.count("sim.cache.corrupt")
+    obs.count("sim.cache.miss")
+    _evict(path)
+    if not _warned_corrupt:
+        _warned_corrupt = True
+        _log.warning(
+            "evicted corrupt sim-cache entry %s (counted under "
+            "sim.cache.corrupt; this warning fires once per process)",
+            path,
+        )
+
+
 def load(kind: str, *parts: str) -> Optional[Any]:
     """Fetch the artifact stored under ``(kind, *parts)``, or None.
 
     Misses, a disabled cache, and unreadable entries all return None;
-    corrupt entries are deleted so they stop costing a read each time.
+    corrupt and version-stale entries are evicted so they stop costing a
+    read each time, and every outcome is counted (see :func:`stats`).
     """
     root = cache_dir()
     if root is None:
@@ -111,20 +162,30 @@ def load(kind: str, *parts: str) -> Optional[Any]:
     path = _path_for(root, _key(kind, *parts))
     try:
         with open(path, "rb") as handle:
-            return pickle.load(handle)
+            entry = pickle.load(handle)
     except FileNotFoundError:
+        obs.count("sim.cache.miss")
         return None
     except Exception:
-        try:
-            os.remove(path)
-        except OSError:
-            pass
+        _evict_corrupt(path)
         return None
+    if not (isinstance(entry, tuple) and len(entry) == 2):
+        _evict_corrupt(path)
+        return None
+    version, payload = entry
+    if version != BACKEND_VERSION:
+        obs.count("sim.cache.version_mismatch")
+        obs.count("sim.cache.miss")
+        _evict(path)
+        return None
+    obs.count("sim.cache.hit")
+    return payload
 
 
 def store(kind: str, payload: Any, *parts: str) -> bool:
     """Persist ``payload`` under ``(kind, *parts)``; True when written.
 
+    The payload is wrapped in a ``(BACKEND_VERSION, payload)`` envelope.
     Atomic against concurrent writers of the same key (last replace
     wins — both wrote identical content-addressed payloads).  Failures
     (unpicklable payload, full disk, read-only root) are swallowed: the
@@ -141,7 +202,11 @@ def store(kind: str, payload: Any, *parts: str) -> bool:
         )
         try:
             with os.fdopen(fd, "wb") as handle:
-                pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                pickle.dump(
+                    (BACKEND_VERSION, payload),
+                    handle,
+                    protocol=pickle.HIGHEST_PROTOCOL,
+                )
             os.replace(tmp_path, path)
         except BaseException:
             try:
@@ -151,6 +216,7 @@ def store(kind: str, payload: Any, *parts: str) -> bool:
             raise
     except Exception:
         return False
+    obs.count("sim.cache.store")
     return True
 
 
@@ -179,8 +245,8 @@ def get_shape(source: str, module_name: str) -> Optional[str]:
     the grouping half of the lockstep compile artifact: pool workers and
     later runs group candidates without re-probing the compiler, and the
     digest can never alias a different source because the key hashes the
-    full text (plus :data:`BACKEND_VERSION`, so grouping-rule changes
-    strand stale digests).
+    full text (the envelope's :data:`BACKEND_VERSION` check evicts
+    digests stranded by grouping-rule changes).
     """
     shape = load("lockstep-shape", source, module_name)
     return shape if isinstance(shape, str) else None

@@ -37,6 +37,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.errors import ElaborationError, LexError, ParseError, SimulationError
 from repro.llm.model import LanguageModel
 from repro.sim import (
@@ -218,7 +219,14 @@ def _golden_ref(problem: EvalProblem) -> _GoldenRef:
     disk_key = _golden_disk_key(problem)
     ref = sim_cache.load("golden-ref", *disk_key)
     if not isinstance(ref, _GoldenRef):
-        ref = _GoldenRef(problem)
+        # Cold: the full parse→elaborate→stimulate→simulate pipeline runs
+        # here, once per problem — the span names the problem so slow
+        # goldens show up in trace reports.
+        with obs.span(
+            "vereval.golden", problem=problem.problem_id,
+            cycles=problem.stimulus_cycles,
+        ):
+            ref = _GoldenRef(problem)
         sim_cache.store("golden-ref", ref, *disk_key)
     while len(_GOLDEN_CACHE) >= _GOLDEN_CACHE_MAX:
         _GOLDEN_CACHE.popitem(last=False)
@@ -280,7 +288,11 @@ def _check_all_vectors_batch(
             [sim.peek_lanes(name) for name in ref.output_names], axis=1
         )
     except (UncompilableDesign, SimulationError, OverflowError, ValueError):
+        # Eligible but the lane lowering/run failed: the caller replays
+        # the candidate on the scalar per-cycle loop.
+        obs.count("batch.fallback_scalar")
         return None
+    obs.count("batch.allvec_checks")
     mismatched = expected != actual
     if not mismatched.any():
         return EquivalenceResult(equivalent=True, cycles_run=n_lanes)
@@ -425,12 +437,14 @@ def _run_lockstep_group(
     n_lanes = len(designs)
     results: list = [None] * n_lanes
     try:
-        group = build_lockstep_group(designs)
+        with obs.span("lockstep.compile", lanes=n_lanes):
+            group = build_lockstep_group(designs)
     except UncompilableDesign:
         return None
     interface = problem.module.interface
     names = ref.output_names
     trace = ref.trace
+    sim = None
     try:
         bench = LockstepTestbench(
             group,
@@ -480,6 +494,7 @@ def _run_lockstep_group(
                         expected=int(expected[cycle, out_index]),
                         actual=int(actual[lane, out_index]),
                     )
+                obs.count("lockstep.lanes_retired", int(lane_bad.sum()))
                 sim.retire_lanes(lane_bad)
                 if not sim.active.any():
                     return results
@@ -492,6 +507,15 @@ def _run_lockstep_group(
     except (SimulationError, OverflowError, ValueError):
         # Undecided lanes stay None: the caller replays them scalar.
         return results
+    finally:
+        if sim is not None:
+            # Accumulated as plain ints in the hot settle loop; one
+            # metrics write per group run (the retirement cycle series).
+            obs.count("lockstep.settles", sim.stat_settles)
+            obs.count("lockstep.settle_nodes_run", sim.stat_nodes_run)
+            obs.count(
+                "lockstep.settle_nodes_skipped", sim.stat_nodes_skipped
+            )
 
 
 def _check_many_against_trace(
@@ -556,19 +580,24 @@ def _check_many_against_trace(
             if len(indices) < _MIN_LOCKSTEP_LANES:
                 scalar.extend(indices)
                 continue
+            obs.count("lockstep.groups")
+            obs.observe("lockstep.group_lanes", len(indices))
             lane_results = _run_lockstep_group(
                 ref, [candidates[i] for i in indices], problem
             )
             if lane_results is None:
+                obs.count("lockstep.lanes_replayed", len(indices))
                 scalar.extend(indices)
                 continue
             for index, lane_result in zip(indices, lane_results):
                 if lane_result is None:
+                    obs.count("lockstep.lanes_replayed")
                     scalar.append(index)
                 else:
                     results[index] = lane_result
 
     for index in scalar:
+        obs.count("vereval.scalar_checks")
         try:
             results[index] = _check_against_trace(
                 ref, candidates[index], problem
@@ -609,6 +638,17 @@ def check_candidates_lockstep(
     differential tests and benchmarks use this to time the baseline).
     """
     sources = list(candidate_sources)
+    with obs.span(
+        "vereval.problem",
+        problem=problem.problem_id,
+        candidates=len(sources),
+    ):
+        return _check_candidates_lockstep(problem, sources)
+
+
+def _check_candidates_lockstep(
+    problem: EvalProblem, sources: List[str]
+) -> List[Tuple[bool, str]]:
     outcomes: List[Optional[Tuple[bool, str]]] = [None] * len(sources)
     name = problem.module.name
 
