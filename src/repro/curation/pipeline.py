@@ -116,7 +116,10 @@ class CurationPipeline:
 
     ``chunk_size`` and ``executor`` tune the underlying engine run;
     the defaults stream serially in chunks and match the seed pipeline's
-    output exactly.
+    output exactly.  ``executor`` may be an instance or a spec string
+    (``"serial"``, ``"pool"``, ``"cluster"``, ``"auto"``) resolved via
+    :func:`repro.engine.make_executor`; a string-built executor is owned
+    by :meth:`run` and closed when the run finishes.
     """
 
     def __init__(
@@ -129,33 +132,46 @@ class CurationPipeline:
         self.chunk_size = chunk_size
         self.executor = executor
 
-    def compile(self):
+    def compile(self, executor=None):
         """Build the engine :class:`StageGraph` for this configuration."""
         # Imported lazily: repro.engine's stages import curation filters,
         # so a top-level import here would be circular.
-        from repro.engine import DEFAULT_CHUNK_SIZE, StageGraph, build_stages
+        from repro.engine import (
+            DEFAULT_CHUNK_SIZE,
+            StageGraph,
+            build_stages,
+            make_executor,
+        )
 
         chunk_size = (
             self.chunk_size if self.chunk_size is not None else DEFAULT_CHUNK_SIZE
         )
+        spec = executor if executor is not None else self.executor
+        resolved = make_executor(spec) if isinstance(spec, str) else spec
         return StageGraph(
             build_stages(self.config.stage_specs()),
             chunk_size=chunk_size,
-            executor=self.executor,
+            executor=resolved,
         )
 
     def run(
         self, files: Iterable[ScrapedFile], name: str = "FreeSet"
     ) -> CuratedDataset:
         graph = self.compile()
-        with obs.run_capture("curation", dataset=name):
-            current = graph.run(files)
-            # Funnel counters mirror the FunnelReport rows so a traced
-            # curation shows up in the same registry as eval runs.
-            obs.count("curation.files_in", graph.items_in)
-            obs.count("curation.files_kept", len(current))
-            for stat in graph.stage_stats():
-                obs.count(f"curation.{stat.stage}.removed", stat.removed)
+        try:
+            with obs.run_capture("curation", dataset=name):
+                current = graph.run(files)
+                # Funnel counters mirror the FunnelReport rows so a traced
+                # curation shows up in the same registry as eval runs.
+                obs.count("curation.files_in", graph.items_in)
+                obs.count("curation.files_kept", len(current))
+                for stat in graph.stage_stats():
+                    obs.count(f"curation.{stat.stage}.removed", stat.removed)
+        finally:
+            if isinstance(self.executor, str):
+                # compile() built this run's executor from the spec
+                # string; nobody else holds it, so release it here.
+                graph.executor.close()
         return CuratedDataset(
             name=name,
             files=current,

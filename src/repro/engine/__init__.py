@@ -13,19 +13,29 @@ Layout:
 * :mod:`repro.engine.stage` — the ``Stage`` protocol and per-stage metrics;
 * :mod:`repro.engine.graph` — the chunked ``StageGraph`` runner;
 * :mod:`repro.engine.executor` — serial and process-pool chunk executors;
+* :mod:`repro.engine.cluster` — sharded coordinator/worker execution
+  behind typed protocol messages, with fault recovery;
 * :mod:`repro.engine.checkpoint` — atomic pickle-per-key snapshot store;
 * :mod:`repro.engine.registry` — declarative stage registration/compilation;
 * :mod:`repro.engine.stages` — the concrete curation stages.
 """
 
 from repro.engine.checkpoint import CheckpointStore
+from repro.engine.cluster import (
+    ClusterError,
+    ClusterExecutor,
+    ClusterProgress,
+    StaleWorkerError,
+)
 from repro.engine.executor import (
     ChunkTrace,
     ParallelExecutor,
     SerialExecutor,
     StageStat,
+    WorkerDiedError,
     apply_stages,
     auto_executor,
+    make_executor,
 )
 from repro.engine.graph import DEFAULT_CHUNK_SIZE, StageGraph, iter_chunks
 from repro.engine.registry import (
@@ -53,11 +63,17 @@ from repro.engine.stages import (
 __all__ = [
     "CheckpointStore",
     "ChunkTrace",
+    "ClusterError",
+    "ClusterExecutor",
+    "ClusterProgress",
     "ParallelExecutor",
     "SerialExecutor",
     "StageStat",
+    "StaleWorkerError",
+    "WorkerDiedError",
     "apply_stages",
     "auto_executor",
+    "make_executor",
     "DEFAULT_CHUNK_SIZE",
     "StageGraph",
     "iter_chunks",

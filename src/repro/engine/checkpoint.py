@@ -1,8 +1,12 @@
 """Durable pickle-per-key checkpoint store.
 
-Writes are atomic (temp file + ``os.replace``) so a crash mid-save never
-corrupts the previous snapshot; a resumed run either sees the old state
-or the new one, never a torn file.
+Writes are crash-safe: the payload is written to a temp file, flushed
+and fsynced, atomically renamed over the target with ``os.replace``,
+and the directory entry is fsynced too.  A crash mid-save — including a
+power cut or a hard-killed coordinator, which ``os.replace`` alone does
+not cover because the rename can hit disk before the data — leaves
+either the old snapshot or the new one, never a torn file.  That
+durability is what cluster coordinator-loss resume leans on.
 """
 
 from __future__ import annotations
@@ -37,13 +41,30 @@ class CheckpointStore:
         try:
             with os.fdopen(fd, "wb") as handle:
                 pickle.dump(obj, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                handle.flush()
+                os.fsync(handle.fileno())
             os.replace(tmp_name, path)
+            self._fsync_dir()
         except BaseException:
             try:
                 os.unlink(tmp_name)
             except OSError:
                 pass
             raise
+
+    def _fsync_dir(self) -> None:
+        # Persist the rename itself; best-effort where directories
+        # cannot be opened or fsynced (some filesystems/platforms).
+        try:
+            dir_fd = os.open(str(self.root), os.O_RDONLY)
+        except OSError:
+            return
+        try:
+            os.fsync(dir_fd)
+        except OSError:
+            pass
+        finally:
+            os.close(dir_fd)
 
     def load(self, key: str, default: Any = None) -> Any:
         path = self._path(key)

@@ -1,0 +1,255 @@
+"""Typed, versioned protocol messages for the cluster layer.
+
+The coordinator and its workers speak in small dataclass messages, each
+carrying an explicit schema version on the wire — the production-actor
+shape (cf. gridworks' ``named_types``) rather than a bespoke RPC blob.
+The full conversation:
+
+==================  =======================  ==============================
+message             direction                meaning
+==================  =======================  ==============================
+``Hello``           worker -> coordinator    join: worker id, pid, protocol
+``PlanHandshake``   coordinator -> worker    fused stage blob + expected
+                                             plan fingerprint + obs config
+``PlanAck``         worker -> coordinator    fingerprint the worker computed
+                                             from the blob it deserialized
+``ChunkLease``      coordinator -> worker    one chunk of work, leased
+``ChunkResult``     worker -> coordinator    chunk output + its
+                                             :class:`~repro.engine.ChunkTrace`
+``Heartbeat``       worker -> coordinator    liveness (sent from a side
+                                             thread, so a busy worker still
+                                             beats; a wedged one goes quiet)
+``Requeue``         worker -> coordinator    lease handed back unprocessed
+``Shutdown``        coordinator -> worker    drain and exit (also used to
+                                             reject a stale/foreign worker)
+==================  =======================  ==============================
+
+Serialization is :func:`encode`/:func:`decode`: a pickled
+``(schema_version, type_tag, fields)`` triple.  ``decode`` refuses a
+mismatched schema version or an unknown type tag with
+:class:`ProtocolError` — a worker from a different build cannot slip a
+malformed message past the coordinator.
+
+The *plan fingerprint* (:func:`plan_fingerprint`) hashes the compiled
+graph structure (stage names, classes, declared stage versions), the
+exact pickled stage payload, the protocol schema, and the simulator's
+:data:`~repro.sim.cache.BACKEND_VERSION`.  Coordinator and worker
+compute it independently — the coordinator from what it sent, the worker
+from what it deserialized plus its own backend version — so a stale
+worker (old simulator semantics, old protocol) is rejected at handshake
+instead of poisoning a run with divergent verdicts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, List, Optional, Sequence, Type
+
+from repro.errors import ReproError
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ClusterError",
+    "ProtocolError",
+    "StaleWorkerError",
+    "Hello",
+    "PlanHandshake",
+    "PlanAck",
+    "ChunkLease",
+    "ChunkResult",
+    "Heartbeat",
+    "Requeue",
+    "Shutdown",
+    "encode",
+    "decode",
+    "plan_fingerprint",
+]
+
+#: wire-schema version; bump on any message shape change
+PROTOCOL_VERSION = 1
+
+
+class ClusterError(ReproError):
+    """Base class for cluster coordinator/worker failures."""
+
+
+class ProtocolError(ClusterError):
+    """A message failed schema validation (version, type, or fields)."""
+
+
+class StaleWorkerError(ClusterError):
+    """Every worker failed the plan-fingerprint handshake."""
+
+
+@dataclass
+class Hello:
+    """Worker introduces itself right after connecting."""
+
+    TYPE = "hello"
+
+    worker_id: int
+    pid: int
+    protocol: int = PROTOCOL_VERSION
+
+
+@dataclass
+class PlanHandshake:
+    """Coordinator ships one fused stage list and its identity."""
+
+    TYPE = "plan_handshake"
+
+    plan_id: int
+    fingerprint: str
+    stage_blob: bytes
+    obs_mode: str = "off"
+    obs_dir: str = ""
+
+
+@dataclass
+class PlanAck:
+    """Worker's independently computed fingerprint for a plan."""
+
+    TYPE = "plan_ack"
+
+    worker_id: int
+    plan_id: int
+    fingerprint: str
+
+
+@dataclass
+class ChunkLease:
+    """One chunk leased to one worker until a result or a requeue."""
+
+    TYPE = "chunk_lease"
+
+    lease_id: int
+    plan_id: int
+    chunk_index: int
+    items: List[Any] = field(default_factory=list)
+
+
+@dataclass
+class ChunkResult:
+    """A completed lease: output items plus the chunk's trace."""
+
+    TYPE = "chunk_result"
+
+    lease_id: int
+    chunk_index: int
+    items: List[Any] = field(default_factory=list)
+    trace: Any = None
+
+
+@dataclass
+class Heartbeat:
+    """Periodic liveness signal, sent even while a chunk is running."""
+
+    TYPE = "heartbeat"
+
+    worker_id: int
+
+
+@dataclass
+class Requeue:
+    """Worker hands a lease back (e.g. it never saw the lease's plan)."""
+
+    TYPE = "requeue"
+
+    lease_id: int
+    reason: str = ""
+
+
+@dataclass
+class Shutdown:
+    """Coordinator tells a worker to exit; ``reason`` names why."""
+
+    TYPE = "shutdown"
+
+    reason: str = ""
+
+
+_MESSAGE_TYPES: Dict[str, Type] = {
+    cls.TYPE: cls
+    for cls in (
+        Hello,
+        PlanHandshake,
+        PlanAck,
+        ChunkLease,
+        ChunkResult,
+        Heartbeat,
+        Requeue,
+        Shutdown,
+    )
+}
+
+
+def encode(message: Any) -> bytes:
+    """Serialize a protocol message for the wire."""
+    type_tag = getattr(type(message), "TYPE", None)
+    if type_tag not in _MESSAGE_TYPES:
+        raise ProtocolError(f"not a protocol message: {message!r}")
+    payload = {f.name: getattr(message, f.name) for f in fields(message)}
+    return pickle.dumps(
+        (PROTOCOL_VERSION, type_tag, payload),
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+
+
+def decode(data: bytes) -> Any:
+    """Deserialize and validate one wire message.
+
+    Raises :class:`ProtocolError` on a schema-version mismatch, an
+    unknown type tag, or a field set the message class does not declare.
+    """
+    try:
+        version, type_tag, payload = pickle.loads(data)
+    except Exception as exc:
+        raise ProtocolError(f"undecodable message: {exc}") from exc
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"protocol version mismatch: got {version!r}, "
+            f"this build speaks {PROTOCOL_VERSION}"
+        )
+    cls = _MESSAGE_TYPES.get(type_tag)
+    if cls is None:
+        raise ProtocolError(f"unknown message type {type_tag!r}")
+    try:
+        return cls(**payload)
+    except TypeError as exc:
+        raise ProtocolError(
+            f"bad fields for {type_tag!r}: {exc}"
+        ) from exc
+
+
+def plan_fingerprint(
+    stages: Sequence[Any],
+    stage_blob: bytes,
+    backend_version: Optional[int] = None,
+) -> str:
+    """Identity of one fused stage list as executed *by this build*.
+
+    Covers the graph structure (stage names, classes, and any declared
+    ``STAGE_VERSION``), the exact pickled stage payload, the wire schema,
+    and the simulator backend version.  Both sides compute it — the
+    worker from the blob it deserialized and its own backend version —
+    so equality means "same plan, same semantics".
+    """
+    if backend_version is None:
+        from repro.sim.cache import BACKEND_VERSION
+
+        backend_version = BACKEND_VERSION
+    digest = hashlib.sha256()
+    digest.update(f"repro.cluster/{PROTOCOL_VERSION}".encode("utf-8"))
+    digest.update(f"/backend:{backend_version}".encode("utf-8"))
+    for stage in stages:
+        descriptor = (
+            stage.name,
+            type(stage).__module__,
+            type(stage).__qualname__,
+            getattr(stage, "STAGE_VERSION", 0),
+        )
+        digest.update(repr(descriptor).encode("utf-8"))
+    digest.update(hashlib.sha256(stage_blob).digest())
+    return digest.hexdigest()[:16]

@@ -1,0 +1,191 @@
+"""The cluster worker process: connect, handshake, lease, repeat.
+
+:func:`cluster_worker_main` is the process entry point the coordinator
+spawns (it is module-level so both fork and spawn start methods can
+reach it).  A worker is a small supervised service:
+
+* it connects to the coordinator's listener, sends :class:`~.protocol.Hello`,
+  and answers every :class:`~.protocol.PlanHandshake` with a
+  :class:`~.protocol.PlanAck` carrying the plan fingerprint *it*
+  computed — the coordinator compares and rejects a stale build;
+* a side thread sends :class:`~.protocol.Heartbeat` every
+  ``heartbeat_s`` seconds, so a worker busy inside a long chunk still
+  reads as alive while a wedged one goes quiet and gets its leases
+  requeued;
+* each :class:`~.protocol.ChunkLease` runs through
+  :func:`repro.engine.apply_stages` — the same function the process
+  pool uses — so the chunk's spans and metrics ship home inside the
+  :class:`~repro.engine.ChunkTrace` and the coordinator's merged trace
+  is as complete as a serial run's;
+* on coordinator loss (EOF on the connection) or
+  :class:`~.protocol.Shutdown` the worker exits cleanly, exporting its
+  residual lifecycle spans to ``<obs_dir>/cluster-worker-<id>-<pid>/``
+  in trace mode (``tools/trace_report.py --merge`` folds those logs
+  into one report).
+
+``fault`` is the test-only fault-injection surface — ``die_on_lease``
+(hard ``os._exit`` mid-chunk), ``hang_on_lease`` (wedge: stop
+heartbeating and never answer), ``backend_version`` (impersonate a
+stale build at handshake).  The fault-injection suite and the CI smoke
+example drive recovery through it deterministically.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import threading
+import time
+from multiprocessing.connection import Client
+from typing import Any, Dict, Optional
+
+from repro import obs
+from repro.engine.cluster.protocol import (
+    ChunkLease,
+    ChunkResult,
+    Heartbeat,
+    Hello,
+    PlanAck,
+    PlanHandshake,
+    Requeue,
+    Shutdown,
+    decode,
+    encode,
+    plan_fingerprint,
+)
+
+#: default seconds between heartbeats (coordinator timeout is a multiple)
+DEFAULT_HEARTBEAT_S = 2.0
+
+
+def _export_worker_trace(worker_id: int) -> None:
+    """Write residual (unshipped) worker spans for ``--merge`` reports."""
+    if obs.mode() != obs.MODE_TRACE:
+        return
+    buffer = obs.snapshot()
+    if not buffer:
+        return
+    from repro.obs import export
+
+    run_dir = os.path.join(
+        obs.obs_dir(), f"cluster-worker-{worker_id}-{os.getpid()}"
+    )
+    try:
+        os.makedirs(run_dir, exist_ok=True)
+        export.write_events_jsonl(
+            os.path.join(run_dir, "events.jsonl"),
+            buffer,
+            meta={"run": f"cluster-worker-{worker_id}", "mode": obs.mode()},
+        )
+    except OSError:
+        pass  # unwritable export root: the run itself is unaffected
+
+
+def cluster_worker_main(
+    address: Any,
+    authkey: bytes,
+    worker_id: int,
+    heartbeat_s: float = DEFAULT_HEARTBEAT_S,
+    fault: Optional[Dict[str, Any]] = None,
+) -> None:
+    """Run one worker until shutdown or coordinator loss."""
+    fault = dict(fault or {})
+    conn = Client(address, authkey=bytes(authkey))
+    send_lock = threading.Lock()
+
+    def send(message: Any) -> None:
+        with send_lock:
+            conn.send_bytes(encode(message))
+
+    alive = threading.Event()
+    alive.set()
+
+    def beat() -> None:
+        while alive.is_set():
+            time.sleep(heartbeat_s)
+            if not alive.is_set():
+                return
+            try:
+                send(Heartbeat(worker_id=worker_id))
+            except (OSError, ValueError):
+                return
+
+    send(Hello(worker_id=worker_id, pid=os.getpid()))
+    threading.Thread(
+        target=beat, name=f"cluster-heartbeat-{worker_id}", daemon=True
+    ).start()
+
+    plans: Dict[int, list] = {}
+    backend_override = fault.get("backend_version")
+    leases_seen = 0
+    try:
+        while True:
+            try:
+                message = decode(conn.recv_bytes())
+            except (EOFError, OSError):
+                break  # coordinator went away: nothing left to serve
+            if isinstance(message, PlanHandshake):
+                obs.ensure_mode(message.obs_mode)
+                if message.obs_dir:
+                    obs.configure(directory=message.obs_dir)
+                stages = pickle.loads(message.stage_blob)
+                plans[message.plan_id] = stages
+                send(
+                    PlanAck(
+                        worker_id=worker_id,
+                        plan_id=message.plan_id,
+                        fingerprint=plan_fingerprint(
+                            stages,
+                            message.stage_blob,
+                            backend_version=backend_override,
+                        ),
+                    )
+                )
+            elif isinstance(message, ChunkLease):
+                leases_seen += 1
+                if fault.get("die_on_lease") == leases_seen:
+                    os._exit(1)  # injected hard death, mid-chunk
+                if fault.get("hang_on_lease") == leases_seen:
+                    alive.clear()  # injected wedge: heartbeats stop too
+                    time.sleep(3600)
+                stages = plans.get(message.plan_id)
+                if stages is None:
+                    send(
+                        Requeue(
+                            lease_id=message.lease_id,
+                            reason="plan not handshaken with this worker",
+                        )
+                    )
+                    continue
+                with obs.span(
+                    "cluster.worker.lease",
+                    worker=worker_id,
+                    chunk=message.chunk_index,
+                    n_in=len(message.items),
+                ):
+                    out, trace = _apply(stages, message.items)
+                send(
+                    ChunkResult(
+                        lease_id=message.lease_id,
+                        chunk_index=message.chunk_index,
+                        items=out,
+                        trace=trace,
+                    )
+                )
+            elif isinstance(message, Shutdown):
+                break
+    finally:
+        alive.clear()
+        _export_worker_trace(worker_id)
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
+def _apply(stages: list, items: list):
+    # Late import: repro.engine re-exports the cluster package, so a
+    # top-level import here would be circular during package init.
+    from repro.engine.executor import apply_stages
+
+    return apply_stages(stages, items)

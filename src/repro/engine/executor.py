@@ -24,6 +24,37 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro import obs
+from repro.errors import ReproError
+
+
+class WorkerDiedError(ReproError):
+    """A worker died and the chunk's requeue budget ran out.
+
+    Raised by :class:`ParallelExecutor` (and the cluster coordinator)
+    in place of a bare ``BrokenProcessPool`` traceback, naming the chunk
+    index and the fused stage run so the failure reads as *"chunk 12 of
+    [eval_generate -> eval_check] failed twice"*, with the chunk having
+    been requeued once before the run gave up.
+    """
+
+    def __init__(
+        self,
+        chunk_index: int,
+        stage: str,
+        attempts: int = 1,
+        detail: str = "",
+    ) -> None:
+        self.chunk_index = chunk_index
+        self.stage = stage
+        self.attempts = attempts
+        self.detail = detail
+        message = (
+            f"worker died running chunk {chunk_index} of stage run "
+            f"[{stage}] ({attempts} attempt(s))"
+        )
+        if detail:
+            message = f"{message}: {detail}"
+        super().__init__(message)
 
 
 @dataclass
@@ -180,9 +211,14 @@ class ParallelExecutor:
         # workers under any pool start method — and workers forked before
         # a configure() call — record exactly what the coordinator wants.
         obs_mode = obs.mode()
+        from concurrent.futures.process import BrokenProcessPool
+
+        # Entries are mutable [future, chunk_index, chunk, attempts] so a
+        # broken pool can resubmit the lost chunks in place.
         pending: deque = deque()
         iterator = iter(chunks)
         exhausted = False
+        index = 0
         while True:
             while not exhausted and len(pending) < self.window:
                 try:
@@ -191,13 +227,70 @@ class ParallelExecutor:
                     exhausted = True
                     break
                 pending.append(
-                    pool.submit(
-                        _apply_pickled_stages, stage_blob, chunk, obs_mode
-                    )
+                    [
+                        pool.submit(
+                            _apply_pickled_stages, stage_blob, chunk, obs_mode
+                        ),
+                        index,
+                        chunk,
+                        0,
+                    ]
                 )
+                index += 1
             if not pending:
                 return
-            yield pending.popleft().result()
+            try:
+                result = pending[0][0].result()
+            except BrokenProcessPool:
+                pool = self._requeue_pending(
+                    pending, stages, stage_blob, obs_mode
+                )
+                continue
+            pending.popleft()
+            yield result
+
+    def _requeue_pending(
+        self,
+        pending: deque,
+        stages: Sequence,
+        stage_blob: bytes,
+        obs_mode: str,
+    ):
+        """Rebuild a broken pool and resubmit its lost chunks once.
+
+        The head chunk — the one the merge was blocked on — carries the
+        attempt count; a chunk whose requeue also breaks the pool raises
+        a typed :class:`WorkerDiedError` naming it and the stage run,
+        instead of a bare ``BrokenProcessPool``.
+        """
+        head = pending[0]
+        head[3] += 1
+        stage_names = " -> ".join(s.name for s in stages)
+        if head[3] > 1:
+            self._pool = None  # broken; nothing worth keeping
+            raise WorkerDiedError(
+                chunk_index=head[1],
+                stage=stage_names,
+                attempts=head[3],
+                detail="the process pool broke twice on this chunk",
+            )
+        broken = self._pool
+        self._pool = None
+        if broken is not None:
+            broken.shutdown(wait=False, cancel_futures=True)
+        obs.count("engine.pool.requeues")
+        obs.event(
+            "engine.pool.requeue", chunk=head[1], stages=stage_names
+        )
+        pool = self._ensure_pool()
+        for entry in pending:
+            future = entry[0]
+            if future.done() and future.exception() is None:
+                continue  # finished before the crash: result survives
+            entry[0] = pool.submit(
+                _apply_pickled_stages, stage_blob, entry[2], obs_mode
+            )
+        return pool
 
     def close(self) -> None:
         if self._pool is not None:
@@ -228,3 +321,32 @@ def auto_executor(workers=None):
     if count > 1:
         return ParallelExecutor(workers=count)
     return SerialExecutor()
+
+
+def make_executor(spec="auto", **kwargs):
+    """Resolve an executor from a spec string (or pass an instance through).
+
+    ``spec`` is ``"serial"``, ``"pool"`` (aliases ``"process"``,
+    ``"parallel"``), ``"cluster"``, or ``"auto"``; keyword arguments feed
+    the chosen constructor.  Anything already shaped like an executor
+    (has ``map_chunks``) is returned unchanged, so call sites can accept
+    both names and instances.
+    """
+    if hasattr(spec, "map_chunks"):
+        return spec
+    name = str(spec).strip().lower()
+    if name == "serial":
+        return SerialExecutor()
+    if name in ("pool", "process", "parallel"):
+        return ParallelExecutor(**kwargs)
+    if name == "cluster":
+        # Late import: the cluster package imports this module.
+        from repro.engine.cluster import ClusterExecutor
+
+        return ClusterExecutor(**kwargs)
+    if name == "auto":
+        return auto_executor(kwargs.get("workers"))
+    raise ValueError(
+        f"unknown executor spec {spec!r} "
+        "(expected 'serial', 'pool', 'cluster', or 'auto')"
+    )

@@ -42,6 +42,7 @@ from repro.evalkit.plan import (
     DEFAULT_CHECKPOINT_EVERY,
     DEFAULT_EVAL_CHUNK_SIZE,
     EvalPlan,
+    PlanProgress,
 )
 
 __all__ = [
@@ -59,4 +60,5 @@ __all__ = [
     "DEFAULT_CHECKPOINT_EVERY",
     "DEFAULT_EVAL_CHUNK_SIZE",
     "EvalPlan",
+    "PlanProgress",
 ]

@@ -43,11 +43,18 @@ variant, executed by ``tools/check_docs.py``)::
 from __future__ import annotations
 
 import hashlib
+from dataclasses import dataclass
 from itertools import islice
 from typing import Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from repro import obs
-from repro.engine import CheckpointStore, StageGraph, build_stages, iter_chunks
+from repro.engine import (
+    CheckpointStore,
+    StageGraph,
+    build_stages,
+    iter_chunks,
+    make_executor,
+)
 from repro.errors import EvaluationError
 from repro.llm.model import LanguageModel
 from repro.evalkit.records import RunResult, SampleRecord
@@ -64,6 +71,25 @@ DEFAULT_CHECKPOINT_EVERY = 64
 
 def _segment_key(tag: str, index: int) -> str:
     return f"{tag}-seg{index:05d}"
+
+
+@dataclass
+class PlanProgress:
+    """A live snapshot of a running plan, streamed to ``on_progress``.
+
+    Emitted as checked records land in the aggregation sink — including
+    the replayed records of a resumed run — so a long sweep reports
+    partial results while later chunks are still generating (on a
+    cluster executor, while they are still out on lease).
+    """
+
+    done: int
+    total: int
+    passed: int
+
+    @property
+    def frac(self) -> float:
+        return self.done / self.total if self.total else 1.0
 
 
 class EvalPlan:
@@ -107,12 +133,20 @@ class EvalPlan:
             ("eval_aggregate", {}),
         ]
 
-    def compile(self) -> StageGraph:
-        """Build the engine :class:`StageGraph` for this plan."""
+    def compile(self, executor=None) -> StageGraph:
+        """Build the engine :class:`StageGraph` for this plan.
+
+        ``executor`` overrides the plan's own; either may be an executor
+        *instance* or a spec string (``"serial"``, ``"pool"``,
+        ``"cluster"``, ``"auto"``) resolved through
+        :func:`repro.engine.make_executor`.
+        """
+        spec = executor if executor is not None else self.executor
+        resolved = make_executor(spec) if isinstance(spec, str) else spec
         return StageGraph(
             build_stages(self.stage_specs()),
             chunk_size=self.chunk_size,
-            executor=self.executor,
+            executor=resolved,
         )
 
     # -- the spec stream ----------------------------------------------------
@@ -161,9 +195,19 @@ class EvalPlan:
         store: Optional[CheckpointStore] = None,
         tag: str = "evalkit",
         checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
+        executor=None,
+        on_progress=None,
     ) -> RunResult:
         """Execute the plan, resuming from ``store``/``tag`` if a snapshot
-        exists; a completed snapshot just replays its result."""
+        exists; a completed snapshot just replays its result.
+
+        ``executor`` overrides the plan's executor for this run — an
+        instance or a spec string (``executor="cluster"`` shards the
+        pooled generate+check phase across cluster workers); a
+        string-built executor is owned by the run and closed on exit.
+        ``on_progress`` receives a :class:`PlanProgress` as checked
+        records stream into the sink.
+        """
         if checkpoint_every < 1:
             raise ValueError("checkpoint_every must be >= 1")
         with obs.run_capture(
@@ -172,7 +216,7 @@ class EvalPlan:
             tasks=len(self.tasks),
             specs=self.total_specs(),
         ) as capture:
-            run = self._run(store, tag, checkpoint_every)
+            run = self._run(store, tag, checkpoint_every, executor, on_progress)
         # Built when the capture closes; the summary travels on the
         # result so callers see it without touching the obs module.
         run.telemetry = capture.telemetry
@@ -183,8 +227,31 @@ class EvalPlan:
         store: Optional[CheckpointStore],
         tag: str,
         checkpoint_every: int,
+        executor=None,
+        on_progress=None,
     ) -> RunResult:
-        graph = self.compile()
+        spec = executor if executor is not None else self.executor
+        owned = isinstance(spec, str)
+        resolved = make_executor(spec) if owned else spec
+        try:
+            return self._run_graph(
+                store, tag, checkpoint_every, resolved, on_progress
+            )
+        finally:
+            if owned and resolved is not None:
+                resolved.close()
+
+    def _run_graph(
+        self,
+        store: Optional[CheckpointStore],
+        tag: str,
+        checkpoint_every: int,
+        executor,
+        on_progress,
+    ) -> RunResult:
+        # ``executor`` is already resolved (or None when the plan has
+        # none), so compile never re-resolves a spec string here.
+        graph = self.compile(executor=executor)
         sink = graph.stages[-1]
         assert isinstance(sink, AggregateStage)
         fingerprint = self.fingerprint()
@@ -218,6 +285,28 @@ class EvalPlan:
                 graph.restore_state(engine_state)
                 done = graph.items_in
                 obs.count("checkpoint.resume_skipped", done)
+        if on_progress is not None:
+            total = self.total_specs()
+            passed_sofar = sum(1 for r in sink.records if r.passed)
+
+            def _emit(new_records, collected):
+                nonlocal passed_sofar
+                passed_sofar += sum(1 for r in new_records if r.passed)
+                on_progress(
+                    PlanProgress(
+                        done=collected, total=total, passed=passed_sofar
+                    )
+                )
+
+            sink.on_records = _emit
+            if sink.records:  # a resumed run reports its restored floor
+                on_progress(
+                    PlanProgress(
+                        done=len(sink.records),
+                        total=total,
+                        passed=passed_sofar,
+                    )
+                )
         stream: Iterator[SampleRecord] = self.specs()
         if done:
             stream = islice(stream, done, None)

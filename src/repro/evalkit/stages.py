@@ -212,12 +212,18 @@ class AggregateStage(StatefulStage):
 
     def __init__(self) -> None:
         self.records: List[SampleRecord] = []
+        #: transient streaming hook — called as ``on_records(new, total)``
+        #: after each chunk lands; not part of the checkpoint payload, so
+        #: a resumed run re-attaches its own observer
+        self.on_records = None
 
     def reset(self) -> None:
         self.records = []
 
     def process(self, chunk: Sequence[SampleRecord]) -> List[SampleRecord]:
         self.records.extend(chunk)
+        if self.on_records is not None:
+            self.on_records(list(chunk), len(self.records))
         return list(chunk)
 
     def state_dict(self) -> List[SampleRecord]:

@@ -3,12 +3,16 @@
 
 Usage::
 
-    python tools/trace_report.py [DIR] [--top N]
+    python tools/trace_report.py [DIR] [--top N] [--merge]
 
 ``DIR`` defaults to ``REPRO_OBS_DIR`` or ``repro_obs``; it may be a run
 directory containing ``events.jsonl`` directly, or a parent directory
 holding any number of exported runs (``<name>-<pid>-<seq>/``) — each run
-found is reported in turn.  For every run the report shows:
+found is reported in turn, or, with ``--merge``, every log found is
+folded into one combined report (spans concatenated, counters and
+histograms summed, gauges last-wins) — the view you want for a cluster
+run, whose coordinator and ``cluster-worker-<id>-<pid>/`` logs land
+side by side.  For every run the report shows:
 
 * the per-span breakdown: call count, total/mean/max wall time, CPU
   time, grouped by span name;
@@ -120,16 +124,11 @@ def _slowest_problems(
     return lines
 
 
-def report_run(path: str, top: int) -> List[str]:
-    lines_in = list(read_lines(path))
-    meta = next(
-        (line for line in lines_in if line["type"] == "meta"), {}
-    )
+def _report_block(
+    header: str, lines_in: List[Dict[str, Any]], top: int
+) -> List[str]:
     spans = [line for line in lines_in if line["type"] == "span"]
-    out = [
-        f"== {os.path.dirname(path) or path} "
-        f"(run={meta.get('run', '?')}, mode={meta.get('mode', '?')}) =="
-    ]
+    out = [header]
     span_table = _span_table(spans)
     if span_table:
         out.append("spans:")
@@ -143,6 +142,76 @@ def report_run(path: str, top: int) -> List[str]:
         out.append(f"slowest problems (top {top}):")
         out.extend(slowest)
     return out
+
+
+def report_run(path: str, top: int) -> List[str]:
+    lines_in = list(read_lines(path))
+    meta = next(
+        (line for line in lines_in if line["type"] == "meta"), {}
+    )
+    header = (
+        f"== {os.path.dirname(path) or path} "
+        f"(run={meta.get('run', '?')}, mode={meta.get('mode', '?')}) =="
+    )
+    return _report_block(header, lines_in, top)
+
+
+def merge_logs(paths: List[str]) -> List[Dict[str, Any]]:
+    """Fold several event logs into one combined line list.
+
+    Spans concatenate; counters sum by name; gauges are last-wins;
+    histograms merge count/sum/min/max.  This is how a cluster run —
+    one coordinator log plus one residual log per worker — reads as a
+    single report.
+    """
+    spans: List[Dict[str, Any]] = []
+    counters: Dict[str, float] = {}
+    gauges: Dict[str, float] = {}
+    histograms: Dict[str, Dict[str, Any]] = {}
+    runs: List[str] = []
+    for path in paths:
+        for line in read_lines(path):
+            kind = line["type"]
+            if kind == "meta":
+                runs.append(str(line.get("run", "?")))
+            elif kind == "span":
+                spans.append(line)
+            elif kind == "counter":
+                counters[line["name"]] = (
+                    counters.get(line["name"], 0) + line["value"]
+                )
+            elif kind == "gauge":
+                gauges[line["name"]] = line["value"]
+            elif kind == "histogram":
+                merged = histograms.get(line["name"])
+                if merged is None:
+                    histograms[line["name"]] = dict(line)
+                else:
+                    merged["count"] += line["count"]
+                    merged["sum"] += line["sum"]
+                    merged["min"] = min(merged["min"], line["min"])
+                    merged["max"] = max(merged["max"], line["max"])
+    out: List[Dict[str, Any]] = [
+        {"type": "meta", "run": "+".join(runs) or "?", "mode": "merged"}
+    ]
+    out.extend(spans)
+    out.extend(
+        {"type": "counter", "name": name, "value": value}
+        for name, value in counters.items()
+    )
+    out.extend(
+        {"type": "gauge", "name": name, "value": value}
+        for name, value in gauges.items()
+    )
+    out.extend(histograms.values())
+    return out
+
+
+def report_merged(paths: List[str], top: int) -> List[str]:
+    lines_in = merge_logs(paths)
+    meta = lines_in[0]
+    header = f"== merged: {len(paths)} logs (runs={meta['run']}) =="
+    return _report_block(header, lines_in, top)
 
 
 def main(argv: List[str] = None) -> int:
@@ -162,6 +231,12 @@ def main(argv: List[str] = None) -> int:
         default=10,
         help="slowest problems to list per run (default 10)",
     )
+    parser.add_argument(
+        "--merge",
+        action="store_true",
+        help="fold every log found into one combined report "
+        "(e.g. a cluster coordinator plus its worker logs)",
+    )
     args = parser.parse_args(argv)
     logs = find_event_logs(args.directory)
     if not logs:
@@ -171,7 +246,10 @@ def main(argv: List[str] = None) -> int:
             file=sys.stderr,
         )
         return 1
-    blocks = [report_run(path, args.top) for path in logs]
+    if args.merge:
+        blocks = [report_merged(logs, args.top)]
+    else:
+        blocks = [report_run(path, args.top) for path in logs]
     print("\n\n".join("\n".join(block) for block in blocks))
     return 0
 
