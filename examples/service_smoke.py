@@ -1,0 +1,145 @@
+#!/usr/bin/env python
+"""The service under fire: checkpoint fault + worker kill, still done.
+
+Starts an in-process :class:`~repro.service.EvalService` with the full
+``cluster,pool,serial`` degradation ladder and its HTTP window, arms two
+faults through the environment —
+
+* ``checkpoint.save:raise:3`` — the job's third checkpoint save throws
+  (a transient storage failure), crashing attempt 1 mid-plan *after* one
+  complete block (segment + head) is on disk;
+* ``cluster.worker.lease:exit:2:<marker>`` — the first cluster worker to
+  reach its second lease hard-dies (``os._exit``); the once-marker
+  confines the death to a single worker across the fleet —
+
+then submits a pass@k plan over HTTP and asserts the job still reaches
+``done`` with verdicts identical, candidate for candidate, to a fresh
+unfaulted serial run.  Attempt 1 survives the worker kill (coordinator
+requeue), crashes on the checkpoint fault, and the supervisor's
+:class:`~repro.engine.RetryPolicy` resumes attempt 2 from the last good
+checkpoint generation.
+
+CI runs this as the service smoke test and uploads the ledger plus the
+merged trace as artifacts::
+
+    python tools/trace_report.py repro_obs --merge
+    python tools/jobctl.py tail <root>/ledger.jsonl
+"""
+
+import json
+import os
+import pickle
+import shutil
+import tempfile
+import urllib.request
+
+from repro import obs
+
+
+def main() -> None:
+    root = os.environ.get("SERVICE_SMOKE_ROOT") or tempfile.mkdtemp(
+        prefix="repro-service-smoke-"
+    )
+    marker = os.path.join(root, "worker-kill.marker")
+    os.environ.setdefault("REPRO_CLUSTER_WORKERS", "2")
+    os.environ.setdefault("REPRO_CLUSTER_HEARTBEAT_S", "0.2")
+    os.environ.setdefault("REPRO_CLUSTER_TIMEOUT_S", "2.0")
+
+    obs.configure(obs.MODE_TRACE)
+
+    from repro.evalkit import EvalPlan, PassAtKTask
+    from repro.llm import LanguageModel
+    from repro.service import EvalJobSpec, EvalService, ServiceConfig, serve
+    from repro.vereval import EvalConfig, build_problem_set
+
+    model = LanguageModel.pretrain(
+        "demo",
+        ["module m(input a, output y); assign y = ~a; endmodule"] * 6,
+    )
+    task = PassAtKTask(
+        build_problem_set(n_problems=4),
+        EvalConfig(n_samples=4, ks=(1,), temperatures=(0.4,),
+                   max_new_tokens=64),
+    )
+
+    # The unfaulted reference first — REPRO_FAULTS is armed only after,
+    # and is re-synced live by repro.testing.faults; cluster workers
+    # spawned during the service run inherit it with fresh counters.
+    reference = EvalPlan([model], [task], chunk_size=4).run()
+    os.environ["REPRO_FAULTS"] = (
+        f"checkpoint.save:raise:3,cluster.worker.lease:exit:2:{marker}"
+    )
+
+    plan = EvalPlan([model], [task], chunk_size=4)
+    service = EvalService(
+        os.path.join(root, "svc"),
+        ServiceConfig(
+            workers=1,
+            max_retries=2,
+            executors=("cluster", "pool", "serial"),
+            retry_base_delay_s=0.0,
+        ),
+    )
+    service.start()
+    server = serve(service)
+
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{server.port}/submit",
+        data=pickle.dumps(EvalJobSpec(plan, checkpoint_every=4)),
+        method="POST",
+        headers={"X-Repro-Client": "smoke"},
+    )
+    job = json.load(urllib.request.urlopen(request))
+    print(f"submitted {job['job_id']} as client 'smoke'")
+
+    assert service.join(timeout_s=180), "service did not settle in time"
+    final = service.status(job["job_id"])
+    print(f"final state: {final.state} after {final.attempts} attempt(s) "
+          f"on executor {final.executor!r}")
+    assert final.state == "done", final.to_dict()
+    assert final.attempts == 2, (
+        f"expected the checkpoint fault to cost exactly one attempt, "
+        f"got {final.attempts}"
+    )
+    assert final.executor == "cluster" and not final.degraded, (
+        "smoke expects the cluster rung to hold", final.to_dict())
+    assert os.path.exists(marker), (
+        "the worker-kill fault never fired (no lease reached nth=2)"
+    )
+
+    # Verdict identity: the faulted, retried, resumed service run must
+    # match the unfaulted serial reference candidate for candidate.
+    blob = urllib.request.urlopen(
+        f"http://127.0.0.1:{server.port}/result/{final.job_id}?pickle=1"
+    ).read()
+    run = pickle.loads(blob)
+
+    def verdicts(result):
+        return [
+            (r.model_name, r.task_id, r.unit_id, r.sample_index,
+             r.passed, r.completion)
+            for r in result.records
+        ]
+
+    assert verdicts(run) == verdicts(reference), (
+        "service run diverged from the unfaulted serial reference"
+    )
+
+    ledger = service.store.root / "ledger.jsonl"
+    events = [json.loads(l) for l in ledger.read_text().splitlines()]
+    crashes = [e for e in events if e.get("error") == "InjectedFault"]
+    assert crashes, f"no InjectedFault crash in the ledger: {events}"
+
+    service.close()
+    server.shutdown()
+    print(f"verdict-identical to serial across {len(run.records)} "
+          "candidates, surviving 1 checkpoint fault + 1 worker kill")
+    print(f"ledger: {ledger}")
+    print(f"trace artifacts in {obs.obs_dir()}/ — merge the worker logs "
+          "with `python tools/trace_report.py --merge`")
+    if "SERVICE_SMOKE_ROOT" not in os.environ:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    main()

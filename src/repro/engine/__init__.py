@@ -15,7 +15,11 @@ Layout:
 * :mod:`repro.engine.executor` — serial and process-pool chunk executors;
 * :mod:`repro.engine.cluster` — sharded coordinator/worker execution
   behind typed protocol messages, with fault recovery;
-* :mod:`repro.engine.checkpoint` — atomic pickle-per-key snapshot store;
+* :mod:`repro.engine.policy` — the one :class:`RetryPolicy` /
+  :class:`Deadline` implementation every retry loop routes through,
+  plus validated ``env_int``/``env_float`` parsing;
+* :mod:`repro.engine.checkpoint` — atomic pickle-per-key snapshot store
+  with two-generation corruption fallback;
 * :mod:`repro.engine.registry` — declarative stage registration/compilation;
 * :mod:`repro.engine.stages` — the concrete curation stages.
 """
@@ -38,6 +42,14 @@ from repro.engine.executor import (
     make_executor,
 )
 from repro.engine.graph import DEFAULT_CHUNK_SIZE, StageGraph, iter_chunks
+from repro.engine.policy import (
+    ConfigError,
+    Deadline,
+    DeadlineExceeded,
+    RetryPolicy,
+    env_float,
+    env_int,
+)
 from repro.engine.registry import (
     build_stages,
     create_stage,
@@ -66,6 +78,12 @@ __all__ = [
     "ClusterError",
     "ClusterExecutor",
     "ClusterProgress",
+    "ConfigError",
+    "Deadline",
+    "DeadlineExceeded",
+    "RetryPolicy",
+    "env_float",
+    "env_int",
     "ParallelExecutor",
     "SerialExecutor",
     "StageStat",

@@ -1,4 +1,4 @@
-"""Durable pickle-per-key checkpoint store.
+"""Durable pickle-per-key checkpoint store with generation fallback.
 
 Writes are crash-safe: the payload is written to a temp file, flushed
 and fsynced, atomically renamed over the target with ``os.replace``,
@@ -7,6 +7,22 @@ power cut or a hard-killed coordinator, which ``os.replace`` alone does
 not cover because the rename can hit disk before the data — leaves
 either the old snapshot or the new one, never a torn file.  That
 durability is what cluster coordinator-loss resume leans on.
+
+On top of the atomic write, every key keeps **two generations**: saving
+rotates the current snapshot to ``<key>.ckpt.1`` before the new one
+lands.  A load that finds the newest generation truncated or otherwise
+unreadable — bit-rot, a filesystem that reordered the rename ahead of
+the data, a fault-injected torn write — falls back to the previous
+generation instead of stranding the run, counting
+``checkpoint.corrupt_recovered`` so silent media problems surface in
+telemetry.  Only when *no* generation is readable does the original
+error propagate.
+
+The save path hosts the ``checkpoint.save`` fault point
+(:mod:`repro.testing.faults`): ``raise`` / ``exit`` fire before any
+bytes move, and the site-interpreted ``torn`` kind corrupts the
+just-written snapshot — which is how the recovery fallback is tested
+without staging a real power cut.
 """
 
 from __future__ import annotations
@@ -17,11 +33,16 @@ import tempfile
 from pathlib import Path
 from typing import Any, List, Union
 
+from repro import obs
+from repro.testing import faults
+
 
 class CheckpointStore:
     """Directory-backed key/value store for engine snapshots."""
 
     SUFFIX = ".ckpt"
+    #: suffix of the previous-generation snapshot a save rotates aside
+    PREV_SUFFIX = ".ckpt.1"
 
     def __init__(self, root: Union[str, Path]) -> None:
         self.root = Path(root)
@@ -32,9 +53,14 @@ class CheckpointStore:
             raise ValueError(f"invalid checkpoint key {key!r}")
         return self.root / f"{key}{self.SUFFIX}"
 
+    def _prev_path(self, key: str) -> Path:
+        return self.root / f"{key}{self.PREV_SUFFIX}"
+
     def save(self, key: str, obj: Any) -> None:
-        """Atomically persist ``obj`` under ``key``."""
+        """Atomically persist ``obj`` under ``key``, keeping one prior
+        generation as the corruption-recovery fallback."""
         path = self._path(key)
+        kind = faults.fire("checkpoint.save")
         fd, tmp_name = tempfile.mkstemp(
             dir=str(self.root), prefix=f".{key}.", suffix=".tmp"
         )
@@ -43,6 +69,11 @@ class CheckpointStore:
                 pickle.dump(obj, handle, protocol=pickle.HIGHEST_PROTOCOL)
                 handle.flush()
                 os.fsync(handle.fileno())
+            # Rotate the readable current snapshot aside first: every
+            # crash window leaves either the new generation at the key
+            # or the old one at the .1 suffix — load checks both.
+            if path.exists():
+                os.replace(path, self._prev_path(key))
             os.replace(tmp_name, path)
             self._fsync_dir()
         except BaseException:
@@ -51,6 +82,12 @@ class CheckpointStore:
             except OSError:
                 pass
             raise
+        if kind == "torn":
+            # Injected bit-rot: truncate the snapshot we just wrote, so
+            # the next load exercises the generation fallback.
+            size = os.path.getsize(path)
+            with open(path, "r+b") as handle:
+                handle.truncate(max(1, size // 2))
 
     def _fsync_dir(self) -> None:
         # Persist the rename itself; best-effort where directories
@@ -67,27 +104,58 @@ class CheckpointStore:
             os.close(dir_fd)
 
     def load(self, key: str, default: Any = None) -> Any:
-        path = self._path(key)
-        if not path.exists():
-            return default
-        with open(path, "rb") as handle:
-            return pickle.load(handle)
+        """The newest readable generation of ``key`` (or ``default``).
+
+        A truncated or corrupt newest generation falls back to the
+        rotated previous one, counting ``checkpoint.corrupt_recovered``;
+        when neither generation is readable the newest generation's
+        error propagates (a fallback would silently rewind the run).
+        """
+        paths = (self._path(key), self._prev_path(key))
+        first_error = None
+        for index, path in enumerate(paths):
+            if not path.exists():
+                continue
+            try:
+                with open(path, "rb") as handle:
+                    value = pickle.load(handle)
+            except Exception as exc:
+                if first_error is None:
+                    first_error = exc
+                continue
+            if index > 0:
+                obs.count("checkpoint.corrupt_recovered")
+                obs.event(
+                    "checkpoint.corrupt_recovered",
+                    key=key,
+                    generation=index,
+                )
+            return value
+        if first_error is not None:
+            raise first_error
+        return default
 
     def __contains__(self, key: str) -> bool:
-        return self._path(key).exists()
+        return self._path(key).exists() or self._prev_path(key).exists()
 
     def keys(self) -> List[str]:
-        return sorted(
+        current = {
             p.name[: -len(self.SUFFIX)]
             for p in self.root.glob(f"*{self.SUFFIX}")
-        )
+        }
+        previous = {
+            p.name[: -len(self.PREV_SUFFIX)]
+            for p in self.root.glob(f"*{self.PREV_SUFFIX}")
+        }
+        return sorted(current | previous)
 
     def delete(self, key: str) -> bool:
-        path = self._path(key)
-        if path.exists():
-            path.unlink()
-            return True
-        return False
+        deleted = False
+        for path in (self._path(key), self._prev_path(key)):
+            if path.exists():
+                path.unlink()
+                deleted = True
+        return deleted
 
     def clear(self) -> None:
         for key in self.keys():

@@ -72,6 +72,8 @@ from repro.engine.cluster.protocol import (
 )
 from repro.engine.cluster.worker import DEFAULT_HEARTBEAT_S, cluster_worker_main
 from repro.engine.executor import WorkerDiedError
+from repro.engine.policy import Deadline, RetryPolicy, env_float, env_int
+from repro.testing import faults
 
 __all__ = [
     "ClusterExecutor",
@@ -88,26 +90,6 @@ _ENV_MAX_RETRIES = "REPRO_CLUSTER_MAX_RETRIES"
 _HANDSHAKE_TIMEOUT_S = 30.0
 #: multiplex tick; also bounds how stale a heartbeat check can be
 _TICK_S = 0.02
-
-
-def _env_float(name: str, default: float) -> float:
-    raw = os.environ.get(name)
-    if not raw:
-        return default
-    try:
-        return float(raw)
-    except ValueError:
-        return default
-
-
-def _env_int(name: str, default: int) -> int:
-    raw = os.environ.get(name)
-    if not raw:
-        return default
-    try:
-        return int(raw)
-    except ValueError:
-        return default
 
 
 def default_route_key(chunk: Sequence[Any]) -> Optional[Tuple]:
@@ -226,22 +208,34 @@ class ClusterExecutor:
         route: Optional[Callable[[Sequence[Any]], Optional[Tuple]]] = None,
         worker_faults: Optional[Dict[int, Dict[str, Any]]] = None,
     ) -> None:
-        count = workers if workers else _env_int(_ENV_WORKERS, 0)
+        # Environment knobs go through the validated helpers: a bad
+        # REPRO_CLUSTER_* value raises ConfigError naming the variable
+        # here, at construction, not as a ValueError mid-run.
+        count = workers if workers else env_int(_ENV_WORKERS, 0, minimum=0)
         self.workers = count if count > 0 else (os.cpu_count() or 1)
         self.heartbeat_s = (
             heartbeat_s
             if heartbeat_s is not None
-            else _env_float(_ENV_HEARTBEAT, DEFAULT_HEARTBEAT_S)
+            else env_float(_ENV_HEARTBEAT, DEFAULT_HEARTBEAT_S,
+                           minimum=0.01)
         )
         self.timeout_s = (
             timeout_s
             if timeout_s is not None
-            else _env_float(_ENV_TIMEOUT, 5.0 * self.heartbeat_s)
+            else env_float(_ENV_TIMEOUT, 5.0 * self.heartbeat_s,
+                           minimum=0.01)
         )
         self.max_requeues = (
             max_requeues
             if max_requeues is not None
-            else _env_int(_ENV_MAX_RETRIES, 2)
+            else env_int(_ENV_MAX_RETRIES, 2, minimum=0)
+        )
+        #: one shared retry implementation decides the requeue budget
+        #: (max_requeues requeues = max_requeues + 1 total attempts)
+        self.retry = RetryPolicy(
+            max_attempts=self.max_requeues + 1,
+            base_delay_s=0.0,
+            jitter=0.0,
         )
         self.window = window if window > 0 else 2 * self.workers
         self.lease_depth = max(1, lease_depth)
@@ -340,9 +334,9 @@ class ClusterExecutor:
                     worker.conn.send_bytes(encode(Shutdown(reason="close")))
                 except (OSError, ValueError):
                     pass
-        deadline = time.monotonic() + 5.0
+        deadline = Deadline(5.0)
         for worker in self._workers.values():
-            worker.process.join(max(0.0, deadline - time.monotonic()))
+            worker.process.join(deadline.remaining())
             if worker.process.is_alive():
                 worker.process.terminate()
                 worker.process.join(1.0)
@@ -461,12 +455,12 @@ class ClusterExecutor:
         return plan_id
 
     def _await_plan_ack(self, worker: _Worker, plan_id: int) -> Optional[str]:
-        deadline = time.monotonic() + _HANDSHAKE_TIMEOUT_S
+        deadline = Deadline(_HANDSHAKE_TIMEOUT_S)
         while worker.alive and plan_id not in worker.plan_acks:
-            if time.monotonic() > deadline:
+            if deadline.expired():
                 self._on_worker_death(worker, "plan handshake timeout")
                 return None
-            self._pump(_TICK_S)
+            self._pump(deadline.remaining(_TICK_S))
         return worker.plan_acks.get(plan_id)
 
     def _reject_worker(self, worker: _Worker, reason: str) -> None:
@@ -556,8 +550,11 @@ class ClusterExecutor:
 
     def _send(self, worker: _Worker, message: Any) -> None:
         try:
+            # An armed "raise" here simulates a connection lost at send
+            # time; the handler below treats it exactly like an OSError.
+            faults.fire("cluster.send")
             worker.conn.send_bytes(encode(message))
-        except (OSError, ValueError) as exc:
+        except (OSError, ValueError, faults.InjectedFault) as exc:
             self._on_worker_death(worker, f"send failed: {exc}")
             raise ClusterError(
                 f"worker {worker.worker_id} connection lost"
@@ -577,8 +574,9 @@ class ClusterExecutor:
                 try:
                     if not conn.poll(0):
                         break
+                    faults.fire("cluster.recv")
                     message = decode(conn.recv_bytes())
-                except (EOFError, OSError):
+                except (EOFError, OSError, faults.InjectedFault):
                     self._on_worker_death(worker, "connection closed")
                     break
                 worker.last_seen = time.monotonic()
@@ -615,7 +613,7 @@ class ClusterExecutor:
 
     def _requeue_chunk(self, run: _MapRun, lease: _Lease, reason: str) -> None:
         attempts = lease.attempts + 1
-        if attempts > self.max_requeues:
+        if not self.retry.grant(attempts):
             raise WorkerDiedError(
                 chunk_index=lease.chunk_index,
                 stage=" -> ".join(run.stage_names),

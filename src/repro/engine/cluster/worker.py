@@ -40,6 +40,7 @@ from multiprocessing.connection import Client
 from typing import Any, Dict, Optional
 
 from repro import obs
+from repro.testing import faults
 from repro.engine.cluster.protocol import (
     ChunkLease,
     ChunkResult,
@@ -143,6 +144,13 @@ def cluster_worker_main(
                 )
             elif isinstance(message, ChunkLease):
                 leases_seen += 1
+                # The REPRO_FAULTS-armable twin of the fault dict below:
+                # "cluster.worker.lease:exit:N[:marker]" kills this
+                # worker on its Nth lease (the once-marker confines the
+                # death to a single worker of the fleet) — what the CI
+                # service smoke uses to inject a worker kill from the
+                # environment.
+                faults.fire("cluster.worker.lease")
                 if fault.get("die_on_lease") == leases_seen:
                     os._exit(1)  # injected hard death, mid-chunk
                 if fault.get("hang_on_lease") == leases_seen:

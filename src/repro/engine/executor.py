@@ -24,10 +24,12 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro import obs
-from repro.errors import ReproError
+from repro.engine.policy import RetryPolicy
+from repro.errors import TransientError
+from repro.testing import faults
 
 
-class WorkerDiedError(ReproError):
+class WorkerDiedError(TransientError):
     """A worker died and the chunk's requeue budget ran out.
 
     Raised by :class:`ParallelExecutor` (and the cluster coordinator)
@@ -115,6 +117,10 @@ def _apply_pickled_stages(
     stage_blob: bytes, chunk: Sequence[Any], obs_mode: str = "off"
 ) -> ChunkResult:
     obs.ensure_mode(obs_mode)
+    # The pool-worker fault point: an armed ``exit`` here is the
+    # deterministic replacement for the old poison-stage os._exit races
+    # (the parent sees BrokenProcessPool and requeues under its policy).
+    faults.fire("pool.chunk")
     stages = _WORKER_STAGE_CACHE.get(stage_blob)
     if stages is None:
         if len(_WORKER_STAGE_CACHE) > 8:
@@ -175,9 +181,21 @@ class ParallelExecutor:
     serial executor would produce.
     """
 
-    def __init__(self, workers: int = 0, window: int = 0) -> None:
+    #: default broken-pool recovery: one rebuild+resubmit, no backoff
+    #: (the pool restart itself is the delay), then a typed failure
+    DEFAULT_RETRY = RetryPolicy(
+        max_attempts=2, base_delay_s=0.0, jitter=0.0
+    )
+
+    def __init__(
+        self,
+        workers: int = 0,
+        window: int = 0,
+        retry: Optional[RetryPolicy] = None,
+    ) -> None:
         self.workers = workers if workers > 0 else (os.cpu_count() or 1)
         self.window = window if window > 0 else 2 * self.workers
+        self.retry = retry if retry is not None else self.DEFAULT_RETRY
         self._pool = None
         #: last fused-stage list and its pickle, so checkpointed runs
         #: (one map_chunks call per block) serialize heavy stage payloads
@@ -256,23 +274,27 @@ class ParallelExecutor:
         stage_blob: bytes,
         obs_mode: str,
     ):
-        """Rebuild a broken pool and resubmit its lost chunks once.
+        """Rebuild a broken pool and resubmit its lost chunks.
 
         The head chunk — the one the merge was blocked on — carries the
-        attempt count; a chunk whose requeue also breaks the pool raises
-        a typed :class:`WorkerDiedError` naming it and the stage run,
-        instead of a bare ``BrokenProcessPool``.
+        attempt count; the executor's :class:`RetryPolicy` decides when
+        the budget is spent (default: one requeue), at which point a
+        typed :class:`WorkerDiedError` names the chunk and the stage
+        run instead of a bare ``BrokenProcessPool``.
         """
         head = pending[0]
         head[3] += 1
         stage_names = " -> ".join(s.name for s in stages)
-        if head[3] > 1:
+        if not self.retry.grant(head[3]):
             self._pool = None  # broken; nothing worth keeping
             raise WorkerDiedError(
                 chunk_index=head[1],
                 stage=stage_names,
                 attempts=head[3],
-                detail="the process pool broke twice on this chunk",
+                detail=(
+                    f"the process pool broke {head[3]} times on this "
+                    "chunk"
+                ),
             )
         broken = self._pool
         self._pool = None
@@ -282,6 +304,7 @@ class ParallelExecutor:
         obs.event(
             "engine.pool.requeue", chunk=head[1], stages=stage_names
         )
+        self.retry.sleep(head[3])
         pool = self._ensure_pool()
         for entry in pending:
             future = entry[0]

@@ -55,7 +55,7 @@ from repro.engine import (
     iter_chunks,
     make_executor,
 )
-from repro.errors import EvaluationError
+from repro.errors import EvaluationError, PlanInterrupted
 from repro.llm.model import LanguageModel
 from repro.evalkit.records import RunResult, SampleRecord
 from repro.evalkit.stages import AggregateStage
@@ -197,6 +197,7 @@ class EvalPlan:
         checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
         executor=None,
         on_progress=None,
+        stop=None,
     ) -> RunResult:
         """Execute the plan, resuming from ``store``/``tag`` if a snapshot
         exists; a completed snapshot just replays its result.
@@ -207,6 +208,14 @@ class EvalPlan:
         string-built executor is owned by the run and closed on exit.
         ``on_progress`` receives a :class:`PlanProgress` as checked
         records stream into the sink.
+
+        ``stop`` is the cooperative-drain hook: a zero-argument callable
+        polled at each checkpoint-block boundary.  When it returns True
+        the run raises :class:`~repro.errors.PlanInterrupted` *after*
+        saving the blocks completed so far, so a rerun with the same
+        ``store``/``tag`` resumes where the drain landed — the
+        :mod:`repro.service` supervisor maps this to the ``resumable``
+        job state on SIGTERM/cancel.
         """
         if checkpoint_every < 1:
             raise ValueError("checkpoint_every must be >= 1")
@@ -216,7 +225,9 @@ class EvalPlan:
             tasks=len(self.tasks),
             specs=self.total_specs(),
         ) as capture:
-            run = self._run(store, tag, checkpoint_every, executor, on_progress)
+            run = self._run(
+                store, tag, checkpoint_every, executor, on_progress, stop
+            )
         # Built when the capture closes; the summary travels on the
         # result so callers see it without touching the obs module.
         run.telemetry = capture.telemetry
@@ -229,13 +240,14 @@ class EvalPlan:
         checkpoint_every: int,
         executor=None,
         on_progress=None,
+        stop=None,
     ) -> RunResult:
         spec = executor if executor is not None else self.executor
         owned = isinstance(spec, str)
         resolved = make_executor(spec) if owned else spec
         try:
             return self._run_graph(
-                store, tag, checkpoint_every, resolved, on_progress
+                store, tag, checkpoint_every, resolved, on_progress, stop
             )
         finally:
             if owned and resolved is not None:
@@ -248,6 +260,7 @@ class EvalPlan:
         checkpoint_every: int,
         executor,
         on_progress,
+        stop=None,
     ) -> RunResult:
         # ``executor`` is already resolved (or None when the plan has
         # none), so compile never re-resolves a spec string here.
@@ -311,9 +324,20 @@ class EvalPlan:
         if done:
             stream = islice(stream, done, None)
         if store is None:
+            if stop is not None and stop():
+                raise PlanInterrupted(
+                    f"plan {tag!r} stopped before ingest (no store: "
+                    "a rerun starts from scratch)"
+                )
             graph.ingest(stream)
         else:
             for block in iter_chunks(stream, checkpoint_every):
+                if stop is not None and stop():
+                    raise PlanInterrupted(
+                        f"plan {tag!r} drained at a checkpoint boundary "
+                        f"({graph.items_in} of {self.total_specs()} "
+                        "specs done; resume with the same store/tag)"
+                    )
                 collected = len(sink.records)
                 graph.ingest(block)
                 # Segment first, then the head that references it: a

@@ -1,0 +1,60 @@
+"""repro.service — the durable, self-healing evaluation service.
+
+The always-on front half of the stack: a long-lived process that accepts
+:class:`~repro.evalkit.EvalPlan` / :class:`~repro.curation.CurationConfig`
+jobs over a loopback HTTP window, supervises them to completion across
+worker crashes and its own restarts, and keeps the expensive shared
+state (sim compile cache, golden traces, task problem sets) warm between
+jobs.
+
+Layout:
+
+* :mod:`repro.service.jobs` — the append-only JSONL ledger, the job
+  state machine, per-job payload/result/checkpoint storage;
+* :mod:`repro.service.core` — :class:`EvalService`: supervisor threads,
+  the :class:`~repro.engine.RetryPolicy`-governed retry loop, the
+  executor degradation ladder, quotas, warm caches, drain;
+* :mod:`repro.service.http` — the stdlib HTTP front-end;
+* ``python -m repro.service`` — the entry point (SIGTERM drains).
+
+Faults are first-class here: every recovery path — crashed attempt,
+torn checkpoint, dead cluster worker, broken pool — is driven
+deterministically in tests and CI through :mod:`repro.testing.faults`.
+"""
+
+from repro.service.core import (
+    CurationJobSpec,
+    EvalJobSpec,
+    EvalService,
+    ExecutorUnavailable,
+    QuotaExceeded,
+    ServiceConfig,
+    WarmCache,
+)
+from repro.service.http import ServiceHTTPServer, serve
+from repro.service.jobs import (
+    ACTIVE_STATES,
+    Job,
+    JobStore,
+    STATES,
+    TERMINAL_STATES,
+    UnknownJobError,
+)
+
+__all__ = [
+    "ACTIVE_STATES",
+    "CurationJobSpec",
+    "EvalJobSpec",
+    "EvalService",
+    "ExecutorUnavailable",
+    "Job",
+    "JobStore",
+    "QuotaExceeded",
+    "STATES",
+    "ServiceConfig",
+    "ServiceHTTPServer",
+    "TERMINAL_STATES",
+    "UnknownJobError",
+    "WarmCache",
+    "serve",
+]

@@ -1,0 +1,97 @@
+"""``python -m repro.service`` — run the evaluation service.
+
+Binds the HTTP front-end on loopback, starts the supervisor, and runs
+until SIGTERM/SIGINT — at which point it *drains*: running plans save
+their progress at the next checkpoint boundary, land ``resumable`` in
+the ledger, and the next ``python -m repro.service`` over the same
+``--root`` picks them back up.
+
+    PYTHONPATH=src python -m repro.service --root /tmp/svc --port 8787
+    PYTHONPATH=src python tools/jobctl.py submit --port 8787 plan.pkl
+"""
+
+from __future__ import annotations
+
+import argparse
+import signal
+import sys
+import threading
+
+from repro.service.core import EvalService, ServiceConfig
+from repro.service.http import serve
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Run the durable evaluation service.",
+    )
+    parser.add_argument(
+        "--root", required=True,
+        help="service state directory (ledger, jobs, warm sim cache)",
+    )
+    parser.add_argument(
+        "--port", type=int, default=0,
+        help="HTTP port on 127.0.0.1 (default: ephemeral, printed)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="supervisor threads (default: REPRO_SERVICE_WORKERS or 2)",
+    )
+    parser.add_argument(
+        "--executors", default=None,
+        help="degradation ladder, e.g. cluster,pool,serial "
+             "(default: REPRO_SERVICE_EXECUTORS or pool,serial)",
+    )
+    args = parser.parse_args(argv)
+
+    config = ServiceConfig.from_env()
+    overrides = {}
+    if args.workers is not None:
+        overrides["workers"] = args.workers
+    if args.executors is not None:
+        overrides["executors"] = tuple(
+            p.strip() for p in args.executors.split(",") if p.strip()
+        )
+    if overrides:
+        config = ServiceConfig(
+            **{**config.__dict__, **overrides}
+        )
+
+    service = EvalService(args.root, config)
+    stop = threading.Event()
+
+    def _drain(signum, frame):
+        print("repro.service: draining (SIGTERM/SIGINT)", flush=True)
+        service.drain()
+        stop.set()
+
+    # Handlers first: once the banner is out, a SIGTERM must drain, not
+    # kill — callers treat the banner as "safe to signal".
+    signal.signal(signal.SIGTERM, _drain)
+    signal.signal(signal.SIGINT, _drain)
+
+    recovered = service.start()
+    server = serve(service, port=args.port)
+    print(
+        f"repro.service on http://127.0.0.1:{server.port} "
+        f"root={args.root} workers={config.workers} "
+        f"executors={','.join(config.executors)} "
+        f"recovered={len(recovered)}",
+        flush=True,
+    )
+
+    stop.wait()
+    # Give running plans their checkpoint-boundary exit, then stop the
+    # listener; resumable jobs wait in the ledger for the next process.
+    service.close()
+    server.shutdown()
+    states = {}
+    for job in service.store.jobs():
+        states[job.state] = states.get(job.state, 0) + 1
+    print(f"repro.service: drained; jobs by state: {states}", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,502 @@
+"""The evaluation service: a supervised, durable job runner.
+
+:class:`EvalService` is the long-lived front half of the stack: clients
+submit :class:`EvalJobSpec` / :class:`CurationJobSpec` payloads and the
+service supervises them to completion across worker crashes, broken
+pools, torn checkpoints, and its own restarts.  The moving parts:
+
+* **durability** — every job's state lives in the :class:`~.jobs.JobStore`
+  ledger and its engine progress in a per-job
+  :class:`~repro.engine.CheckpointStore`; :meth:`EvalService.start`
+  replays the ledger and re-enqueues interrupted work;
+* **supervision** — a crashed attempt moves the job to ``resumable`` and
+  re-enqueues it under the service's :class:`~repro.engine.RetryPolicy`
+  (the same class the cluster coordinator and process pool use); when
+  the budget is spent the job is ``failed`` with the *typed* cause;
+* **degradation** — executors are tried along a ladder (by default
+  ``pool`` then ``serial``; a cluster deployment prepends ``cluster``).
+  An executor that cannot be built is recorded on the job, counted as
+  ``service.degraded``, and never charged against the retry budget —
+  degrading is an infrastructure event, not a job failure;
+* **warm state** — one process-wide sim-compile cache
+  (:func:`repro.sim.cache.configure`) plus task interning by
+  :meth:`~repro.evalkit.tasks.EvalTask.protocol_fingerprint`, so
+  repeated submissions of the same protocol share golden traces and the
+  copyright :class:`~repro.curation.SimilarityIndex` instead of
+  rebuilding them per job (``service.warm.hits`` / ``.misses``);
+* **drain** — :meth:`EvalService.drain` flips the stop hook every
+  running plan polls at checkpoint boundaries; plans save what they have,
+  raise :class:`~repro.errors.PlanInterrupted`, and land ``resumable``
+  for the next service process to finish.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro import obs
+from repro.engine import (
+    Deadline,
+    DeadlineExceeded,
+    RetryPolicy,
+    env_float,
+    env_int,
+    make_executor,
+)
+from repro.errors import ConfigError, PlanInterrupted, ReproError, TransientError
+from repro.evalkit.plan import DEFAULT_CHECKPOINT_EVERY, EvalPlan
+from repro.service.jobs import Job, JobStore
+from repro.sim import cache as sim_cache
+from repro.testing import faults
+
+__all__ = [
+    "CurationJobSpec",
+    "EvalJobSpec",
+    "EvalService",
+    "ExecutorUnavailable",
+    "QuotaExceeded",
+    "ServiceConfig",
+    "WarmCache",
+]
+
+_KNOWN_EXECUTORS = ("cluster", "pool", "process", "parallel", "serial", "auto")
+
+
+class QuotaExceeded(ReproError):
+    """A client is at its concurrent-job quota; resubmit later."""
+
+
+class ExecutorUnavailable(TransientError):
+    """An executor rung could not be built; the ladder degrades past it."""
+
+    def __init__(self, name: str, cause: BaseException) -> None:
+        super().__init__(
+            f"executor {name!r} unavailable: "
+            f"{type(cause).__name__}: {cause}"
+        )
+        self.executor = name
+        self.cause = cause
+
+
+@dataclass
+class EvalJobSpec:
+    """An :class:`~repro.evalkit.EvalPlan` to run under supervision."""
+
+    plan: EvalPlan
+    checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY
+
+    kind = "eval"
+
+
+@dataclass
+class CurationJobSpec:
+    """A curation config plus the scraped files to run it over.
+
+    Curation runs are not checkpointed mid-stream (the pipeline is fast
+    relative to eval), so a retried curation job restarts from scratch.
+    """
+
+    config: Any
+    files: List[Any] = field(default_factory=list)
+
+    kind = "curation"
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Service tuning, normally read from ``REPRO_SERVICE_*`` variables."""
+
+    workers: int = 2
+    quota: int = 8
+    max_retries: int = 2
+    job_timeout_s: float = 0.0
+    executors: Tuple[str, ...] = ("pool", "serial")
+    retry_base_delay_s: float = 0.05
+
+    @classmethod
+    def from_env(cls) -> "ServiceConfig":
+        """Build a config from the environment (validated, typed errors).
+
+        * ``REPRO_SERVICE_WORKERS`` — supervisor threads (>= 1);
+        * ``REPRO_SERVICE_QUOTA`` — active jobs per client (>= 1);
+        * ``REPRO_SERVICE_MAX_RETRIES`` — re-runs after a crashed
+          attempt (>= 0; the total attempt budget is this plus one);
+        * ``REPRO_SERVICE_JOB_TIMEOUT_S`` — per-attempt deadline in
+          seconds (0 disables);
+        * ``REPRO_SERVICE_EXECUTORS`` — comma-separated degradation
+          ladder, e.g. ``cluster,pool,serial``.
+        """
+        raw = os.environ.get("REPRO_SERVICE_EXECUTORS", "")
+        ladder = tuple(p.strip() for p in raw.split(",") if p.strip())
+        for name in ladder:
+            if name not in _KNOWN_EXECUTORS:
+                raise ConfigError(
+                    f"REPRO_SERVICE_EXECUTORS names unknown executor "
+                    f"{name!r} (expected one of {', '.join(_KNOWN_EXECUTORS)})"
+                )
+        return cls(
+            workers=env_int("REPRO_SERVICE_WORKERS", cls.workers, minimum=1),
+            quota=env_int("REPRO_SERVICE_QUOTA", cls.quota, minimum=1),
+            max_retries=env_int(
+                "REPRO_SERVICE_MAX_RETRIES", cls.max_retries, minimum=0
+            ),
+            job_timeout_s=env_float(
+                "REPRO_SERVICE_JOB_TIMEOUT_S", cls.job_timeout_s, minimum=0.0
+            ),
+            executors=ladder or cls.executors,
+        )
+
+
+class WarmCache:
+    """Process-wide interning of eval tasks by protocol fingerprint.
+
+    Tasks carry the expensive shared state of a run — problem sets,
+    golden references, the copyright :class:`SimilarityIndex`.  Two jobs
+    whose tasks have the same
+    :meth:`~repro.evalkit.tasks.EvalTask.protocol_fingerprint` are, by
+    construction, running the same protocol over the same problems, so
+    the second job reuses the first job's task object (and everything
+    already materialised inside it) instead of its own cold copy.
+    """
+
+    def __init__(self) -> None:
+        self._tasks: Dict[str, Any] = {}
+        self._lock = threading.Lock()
+
+    def intern_plan(self, plan: EvalPlan) -> EvalPlan:
+        """Swap the plan's tasks for warm equivalents, in place."""
+        for index, task in enumerate(plan.tasks):
+            key = task.protocol_fingerprint()
+            with self._lock:
+                cached = self._tasks.get(key)
+                if cached is None:
+                    self._tasks[key] = task
+            if cached is not None:
+                plan.tasks[index] = cached
+                obs.count("service.warm.hits")
+            else:
+                obs.count("service.warm.misses")
+        return plan
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._tasks)
+
+
+class EvalService:
+    """Accepts jobs, supervises them across faults, survives restarts."""
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        config: Optional[ServiceConfig] = None,
+    ) -> None:
+        self.config = config or ServiceConfig.from_env()
+        self.store = JobStore(root)
+        self.warm = WarmCache()
+        self.retry = RetryPolicy(
+            max_attempts=self.config.max_retries + 1,
+            base_delay_s=self.config.retry_base_delay_s,
+            jitter=0.0,
+        )
+        # One shared disk tier for sim compile artifacts: every job's
+        # golden traces and elaborated designs accumulate here, so the
+        # second job over a protocol starts hot.
+        sim_cache.configure(str(self.store.root / "simcache"))
+        self._queue: "queue.Queue[str]" = queue.Queue()
+        self._draining = threading.Event()
+        self._cancelled: set = set()
+        self._threads: List[threading.Thread] = []
+        self._started = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> List[Job]:
+        """Recover the ledger, re-enqueue interrupted work, start workers."""
+        recovered = self.store.recover()
+        for job in recovered:
+            self._queue.put(job.job_id)
+        self._started = True
+        for index in range(self.config.workers):
+            thread = threading.Thread(
+                target=self._worker_main,
+                name=f"service-worker-{index}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+        return recovered
+
+    def drain(self) -> None:
+        """Stop accepting work; running plans save and go ``resumable``."""
+        self._draining.set()
+
+    def close(self, timeout_s: float = 30.0) -> None:
+        """Drain and wait for the supervisor threads to finish."""
+        self.drain()
+        deadline = Deadline(timeout_s)
+        for thread in self._threads:
+            thread.join(deadline.remaining())
+        self._threads = []
+
+    def join(self, timeout_s: Optional[float] = None) -> bool:
+        """Block until every queued/running job reached a stable state.
+
+        Stable means terminal *or* ``resumable`` while draining.  Returns
+        False on timeout.
+        """
+        deadline = Deadline(timeout_s)
+        poll = 0.02
+        while not deadline.expired():
+            pending = [
+                job for job in self.store.jobs()
+                if job.state in ("queued", "running")
+                or (job.state == "resumable" and not self._draining.is_set())
+            ]
+            if not pending:
+                return True
+            threading.Event().wait(poll)
+        return False
+
+    # -- client surface ----------------------------------------------------
+
+    def submit(
+        self,
+        payload: Union[EvalJobSpec, CurationJobSpec],
+        client: str = "anon",
+    ) -> Job:
+        """Queue a job for ``client``; enforces the per-client quota."""
+        if self._draining.is_set():
+            raise ReproError("service is draining; not accepting jobs")
+        if not isinstance(payload, (EvalJobSpec, CurationJobSpec)):
+            raise ValueError(
+                f"expected EvalJobSpec or CurationJobSpec, got "
+                f"{type(payload).__name__}"
+            )
+        active = self.store.active_count(client)
+        if active >= self.config.quota:
+            obs.count("service.quota_rejected")
+            raise QuotaExceeded(
+                f"client {client!r} has {active} active jobs "
+                f"(quota {self.config.quota}); wait for one to finish"
+            )
+        job = self.store.create(client, payload.kind, payload)
+        obs.count("service.submitted")
+        self._queue.put(job.job_id)
+        return job
+
+    def cancel(self, job_id: str) -> Job:
+        """Cancel a job: immediately if idle, at the next checkpoint if
+        running (the stop hook turns the run into ``cancelled``)."""
+        job = self.store.get(job_id)
+        self._cancelled.add(job_id)
+        if job.state in ("queued", "resumable"):
+            return self.store.transition(
+                job_id, "cancelled", detail="cancelled while idle"
+            )
+        return job
+
+    def status(self, job_id: str) -> Job:
+        return self.store.get(job_id)
+
+    def result(self, job_id: str) -> Any:
+        return self.store.load_result(job_id)
+
+    # -- the supervisor ----------------------------------------------------
+
+    def _worker_main(self) -> None:
+        while not self._draining.is_set():
+            try:
+                job_id = self._queue.get(timeout=0.05)
+            except queue.Empty:
+                continue
+            job = self.store.get(job_id)
+            if job.state not in ("queued", "resumable"):
+                continue  # cancelled or completed while queued
+            self._run_job(job)
+
+    def _run_job(self, job: Job) -> None:
+        attempt = job.attempts + 1
+        self.store.transition(
+            job.job_id, "running", attempts=attempt,
+            degraded=job.degraded,
+            detail=f"attempt {attempt}",
+        )
+        deadline = (
+            Deadline(self.config.job_timeout_s)
+            if self.config.job_timeout_s > 0
+            else Deadline(None)
+        )
+        try:
+            with obs.span(
+                "service.job", job=job.job_id, kind=job.kind, attempt=attempt
+            ):
+                summary = self._execute(job, deadline)
+        except PlanInterrupted as exc:
+            self._settle_interrupt(job, exc)
+        except DeadlineExceeded as exc:
+            # A timed-out attempt would time out again: fail it now with
+            # the typed cause rather than burning the retry budget.
+            self.store.transition(
+                job.job_id, "failed",
+                error=type(exc).__name__, detail=str(exc),
+                attempts=attempt,
+            )
+            obs.count("service.failed")
+        except Exception as exc:  # noqa: BLE001 — supervisor boundary
+            self._settle_failure(job, attempt, exc)
+        else:
+            self.store.transition(
+                job.job_id, "done",
+                result_summary=summary, attempts=attempt,
+                detail=f"finished on attempt {attempt}",
+            )
+            obs.count("service.done")
+
+    def _settle_interrupt(self, job: Job, exc: PlanInterrupted) -> None:
+        if job.job_id in self._cancelled:
+            self.store.transition(
+                job.job_id, "cancelled", detail=str(exc)
+            )
+            obs.count("service.cancelled")
+        else:  # drained: progress is checkpointed, next process resumes
+            self.store.transition(
+                job.job_id, "resumable", detail=str(exc)
+            )
+            obs.count("service.drained")
+
+    def _settle_failure(
+        self, job: Job, attempt: int, exc: BaseException
+    ) -> None:
+        if self.retry.grant(attempt, exc):
+            self.store.transition(
+                job.job_id, "resumable",
+                error=type(exc).__name__,
+                detail=f"attempt {attempt} crashed: {exc}",
+                attempts=attempt,
+            )
+            self.retry.sleep(attempt)
+            if not self._draining.is_set():
+                self._queue.put(job.job_id)
+        else:
+            self.store.transition(
+                job.job_id, "failed",
+                error=type(exc).__name__,
+                detail=(
+                    f"retry budget exhausted after {attempt} attempts: "
+                    f"{exc}"
+                ),
+                attempts=attempt,
+            )
+            obs.count("service.failed")
+
+    # -- execution ---------------------------------------------------------
+
+    def _execute(self, job: Job, deadline: Deadline) -> Dict[str, Any]:
+        payload = self.store.load_payload(job.job_id)
+        if isinstance(payload, EvalJobSpec):
+            return self._execute_eval(job, payload, deadline)
+        if isinstance(payload, CurationJobSpec):
+            return self._execute_curation(job, payload)
+        raise ReproError(
+            f"job {job.job_id} has unsupported payload "
+            f"{type(payload).__name__}"
+        )
+
+    def _stop_hook(self, job_id: str, deadline: Deadline):
+        def stop() -> bool:
+            deadline.check(f"job {job_id}")
+            return (
+                self._draining.is_set() or job_id in self._cancelled
+            )
+
+        return stop
+
+    def _build_executor(self, job: Job):
+        """Walk the ladder past rungs this job has already degraded off.
+
+        A rung that cannot be built (cluster spawn failure, pool start
+        failure, an armed ``service.executor.<name>`` fault) is recorded
+        on the job and skipped permanently *for this job* — degradation
+        is one-way, so a flapping cluster cannot bounce a job between
+        executors forever.  Running out of rungs is a real failure.
+        """
+        last: Optional[ExecutorUnavailable] = None
+        for name in self.config.executors:
+            if name in job.degraded:
+                continue
+            try:
+                faults.fire(f"service.executor.{name}")
+                return name, make_executor(name)
+            except Exception as exc:  # noqa: BLE001 — rung boundary
+                last = ExecutorUnavailable(name, exc)
+                job.degraded.append(name)
+                obs.count("service.degraded")
+                obs.event(
+                    "service.degraded", job=job.job_id,
+                    executor=name, error=type(exc).__name__,
+                )
+                self.store.transition(
+                    job.job_id, "running",
+                    degraded=job.degraded,
+                    detail=f"degraded off executor {name!r}: {exc}",
+                )
+        raise last if last is not None else ReproError(
+            "service has an empty executor ladder"
+        )
+
+    def _execute_eval(
+        self, job: Job, spec: EvalJobSpec, deadline: Deadline
+    ) -> Dict[str, Any]:
+        plan = self.warm.intern_plan(spec.plan)
+        name, executor = self._build_executor(job)
+        self.store.transition(job.job_id, "running", executor=name)
+        try:
+            run = plan.run(
+                store=self.store.checkpoints(job.job_id),
+                tag="job",
+                checkpoint_every=spec.checkpoint_every,
+                executor=executor,
+                stop=self._stop_hook(job.job_id, deadline),
+            )
+        finally:
+            close = getattr(executor, "close", None)
+            if close is not None:
+                close()
+        self.store.save_result(job.job_id, run)
+        passed = sum(1 for r in run.records if r.passed)
+        return {
+            "kind": "eval",
+            "records": len(run.records),
+            "passed": passed,
+            "models": run.model_names,
+            "tasks": run.task_ids,
+        }
+
+    def _execute_curation(
+        self, job: Job, spec: CurationJobSpec
+    ) -> Dict[str, Any]:
+        # Late import: repro.curation pulls in engine stages; keep the
+        # service importable without the curation extras resolved.
+        from repro.curation.pipeline import CurationPipeline
+
+        name, executor = self._build_executor(job)
+        self.store.transition(job.job_id, "running", executor=name)
+        try:
+            pipeline = CurationPipeline(spec.config, executor=executor)
+            dataset = pipeline.run(spec.files, name=f"svc-{job.job_id}")
+        finally:
+            close = getattr(executor, "close", None)
+            if close is not None:
+                close()
+        self.store.save_result(job.job_id, dataset)
+        return {
+            "kind": "curation",
+            "files_in": len(spec.files),
+            "files_kept": len(dataset.files),
+        }

@@ -1,0 +1,167 @@
+"""A stdlib HTTP front-end for :class:`~repro.service.EvalService`.
+
+Deliberately minimal: :class:`http.server.ThreadingHTTPServer` bound to
+``127.0.0.1``, pickled job payloads over POST, JSON job state out.  The
+wire surface:
+
+* ``POST /submit`` — body is a pickled :class:`~.core.EvalJobSpec` or
+  :class:`~.core.CurationJobSpec`; the ``X-Repro-Client`` header names
+  the quota bucket (default ``anon``).  Returns the queued job as JSON;
+  ``429`` when the client is at quota;
+* ``GET  /jobs`` — every job in the ledger;
+* ``GET  /status/<job_id>`` — one job;
+* ``GET  /result/<job_id>`` — the result summary as JSON, or the full
+  pickled result object with ``?pickle=1`` (``404`` until the job is
+  ``done``);
+* ``POST /cancel/<job_id>`` — cancel (idle jobs immediately, running
+  jobs at their next checkpoint boundary);
+* ``POST /drain`` — stop accepting jobs and drain running plans to
+  ``resumable``.
+
+Pickle cuts both ways: it is what lets a client ship a real
+:class:`~repro.evalkit.EvalPlan` (models and all) to the service, and it
+is also why the server refuses to bind to anything but loopback — a
+pickle endpoint on a shared interface is remote code execution.  The
+cluster tier (:mod:`repro.engine.cluster`) is the multi-host story; this
+front-end is one machine's job window.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.service.core import EvalService, QuotaExceeded
+from repro.service.jobs import UnknownJobError
+
+__all__ = ["ServiceHTTPServer", "serve"]
+
+#: the only interface the pickle endpoint will bind to (see module doc)
+LOOPBACK = "127.0.0.1"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: "ServiceHTTPServer"
+
+    # -- plumbing ----------------------------------------------------------
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass  # the ledger is the log; keep stderr quiet under test
+
+    def _send_json(self, payload: Any, status: int = 200) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_pickle(self, obj: Any) -> None:
+        body = pickle.dumps(obj, pickle.HIGHEST_PROTOCOL)
+        self.send_response(200)
+        self.send_header("Content-Type", "application/octet-stream")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, message: str) -> None:
+        self._send_json({"error": message}, status=status)
+
+    def _route(self) -> Tuple[str, Optional[str], Optional[str]]:
+        path, _, query = self.path.partition("?")
+        parts = [p for p in path.split("/") if p]
+        head = parts[0] if parts else ""
+        arg = parts[1] if len(parts) > 1 else None
+        return head, arg, query
+
+    @property
+    def service(self) -> EvalService:
+        return self.server.service
+
+    # -- verbs -------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 — BaseHTTPRequestHandler API
+        head, arg, query = self._route()
+        try:
+            if head == "jobs" and arg is None:
+                self._send_json(
+                    {"jobs": [j.to_dict() for j in self.service.store.jobs()]}
+                )
+            elif head == "status" and arg:
+                self._send_json(self.service.status(arg).to_dict())
+            elif head == "result" and arg:
+                job = self.service.status(arg)
+                if job.state != "done":
+                    self._error(
+                        404, f"job {arg} is {job.state}, not done"
+                    )
+                elif query == "pickle=1":
+                    self._send_pickle(self.service.result(arg))
+                else:
+                    self._send_json(
+                        {
+                            "job_id": arg,
+                            "result_summary": job.result_summary,
+                        }
+                    )
+            else:
+                self._error(404, f"no route for GET {self.path}")
+        except UnknownJobError as exc:
+            self._error(404, str(exc))
+
+    def do_POST(self) -> None:  # noqa: N802 — BaseHTTPRequestHandler API
+        head, arg, _ = self._route()
+        try:
+            if head == "submit" and arg is None:
+                length = int(self.headers.get("Content-Length", "0"))
+                payload = pickle.loads(self.rfile.read(length))
+                client = self.headers.get("X-Repro-Client", "anon")
+                try:
+                    job = self.service.submit(payload, client=client)
+                except QuotaExceeded as exc:
+                    self._error(429, str(exc))
+                    return
+                except ValueError as exc:
+                    self._error(400, str(exc))
+                    return
+                except ReproError as exc:  # draining
+                    self._error(503, str(exc))
+                    return
+                self._send_json(job.to_dict(), status=202)
+            elif head == "cancel" and arg:
+                self._send_json(self.service.cancel(arg).to_dict())
+            elif head == "drain" and arg is None:
+                self.service.drain()
+                self._send_json({"draining": True})
+            else:
+                self._error(404, f"no route for POST {self.path}")
+        except UnknownJobError as exc:
+            self._error(404, str(exc))
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """The service's listener; always loopback-only (pickle endpoint)."""
+
+    daemon_threads = True
+
+    def __init__(self, service: EvalService, port: int = 0) -> None:
+        self.service = service
+        super().__init__((LOOPBACK, port), _Handler)
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+
+def serve(service: EvalService, port: int = 0) -> ServiceHTTPServer:
+    """Start the HTTP front-end on a daemon thread; returns the server."""
+    import threading
+
+    server = ServiceHTTPServer(service, port=port)
+    threading.Thread(
+        target=server.serve_forever, name="service-http", daemon=True
+    ).start()
+    return server

@@ -1,0 +1,297 @@
+"""Durable job records: an append-only JSONL ledger plus per-job state.
+
+The service's source of truth is a *ledger*, not a mutable table: every
+state transition appends one JSON line to ``<root>/ledger.jsonl``
+(flushed and fsynced, so a line that returned from :meth:`JobStore.append`
+survives a power cut).  The in-memory job table is always a pure replay
+of the ledger — which is exactly how :meth:`JobStore.open` recovers
+after a crash or restart: jobs that were ``running`` when the process
+died are re-marked ``resumable`` (their engine-level progress lives in
+the per-job :class:`~repro.engine.CheckpointStore`), and queued /
+resumable jobs go back onto the run queue.
+
+The job state machine::
+
+    queued ──> running ──> done
+                 │  ▲
+                 │  └── resumable   (crash, retry, drain, restart)
+                 ├──> failed        (retry budget exhausted, typed cause)
+                 └──> cancelled     (client request)
+
+Payloads and results are pickles under ``<root>/jobs/<job_id>/`` — the
+ledger itself stays plain JSON so ``tools/jobctl.py tail`` and humans
+can read it with no imports.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+from repro.engine.checkpoint import CheckpointStore
+from repro.errors import ReproError
+
+__all__ = [
+    "ACTIVE_STATES",
+    "Job",
+    "JobStore",
+    "STATES",
+    "TERMINAL_STATES",
+    "UnknownJobError",
+]
+
+STATES = ("queued", "running", "resumable", "done", "failed", "cancelled")
+#: states that count against a client's quota (work not yet finished)
+ACTIVE_STATES = frozenset(("queued", "running", "resumable"))
+TERMINAL_STATES = frozenset(("done", "failed", "cancelled"))
+
+#: transitions the ledger accepts; anything else is a programming error
+_ALLOWED = {
+    "queued": {"running", "cancelled"},
+    "running": {"done", "failed", "resumable", "cancelled", "running"},
+    "resumable": {"running", "cancelled", "failed"},
+    "done": set(),
+    "failed": set(),
+    "cancelled": set(),
+}
+
+
+class UnknownJobError(ReproError):
+    """A job id that is not in the ledger."""
+
+    def __init__(self, job_id: str) -> None:
+        super().__init__(f"unknown job {job_id!r}")
+
+
+@dataclass
+class Job:
+    """One job's current state (a replay of its ledger lines)."""
+
+    job_id: str
+    client: str
+    kind: str
+    state: str = "queued"
+    attempts: int = 0
+    executor: str = ""
+    #: executors this job has permanently degraded away from
+    degraded: List[str] = field(default_factory=list)
+    error: str = ""
+    detail: str = ""
+    created_s: float = 0.0
+    updated_s: float = 0.0
+    result_summary: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "job_id": self.job_id,
+            "client": self.client,
+            "kind": self.kind,
+            "state": self.state,
+            "attempts": self.attempts,
+            "executor": self.executor,
+            "degraded": list(self.degraded),
+            "error": self.error,
+            "detail": self.detail,
+            "created_s": self.created_s,
+            "updated_s": self.updated_s,
+            "result_summary": dict(self.result_summary),
+        }
+
+
+class JobStore:
+    """The on-disk half of the service: ledger, payloads, checkpoints.
+
+    Thread-safe: the service's HTTP handlers and supervisor workers all
+    append through one lock.  Reopening a root replays the ledger —
+    :meth:`recover` then converts interrupted ``running`` jobs into
+    ``resumable`` ones, appending the recovery as a ledger event so the
+    history shows *that* the restart happened, not just its effect.
+    """
+
+    LEDGER = "ledger.jsonl"
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        (self.root / "jobs").mkdir(exist_ok=True)
+        self._lock = threading.Lock()
+        self._jobs: Dict[str, Job] = {}
+        self._seq = 0
+        self._replay()
+
+    # -- ledger ------------------------------------------------------------
+
+    def _ledger_path(self) -> Path:
+        return self.root / self.LEDGER
+
+    def _replay(self) -> None:
+        path = self._ledger_path()
+        if not path.exists():
+            return
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    event = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn final line from a crash mid-append
+                self._apply(event)
+
+    def _apply(self, event: Dict[str, Any]) -> None:
+        self._seq = max(self._seq, int(event.get("seq", 0)))
+        job_id = event["job"]
+        job = self._jobs.get(job_id)
+        if job is None:
+            job = Job(
+                job_id=job_id,
+                client=event.get("client", "anon"),
+                kind=event.get("kind", "eval"),
+                created_s=event.get("ts", 0.0),
+            )
+            self._jobs[job_id] = job
+        job.state = event.get("state", job.state)
+        job.updated_s = event.get("ts", job.updated_s)
+        job.detail = event.get("detail", "")
+        for key in ("attempts", "executor", "error"):
+            if key in event:
+                setattr(job, key, event[key])
+        if "degraded" in event:
+            job.degraded = list(event["degraded"])
+        if "result_summary" in event:
+            job.result_summary = dict(event["result_summary"])
+
+    def _append(self, event: Dict[str, Any]) -> None:
+        # Append + flush + fsync: a transition that returned is durable.
+        with open(self._ledger_path(), "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(event, sort_keys=True) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    # -- job lifecycle -----------------------------------------------------
+
+    def create(self, client: str, kind: str, payload: Any) -> Job:
+        """Persist a new queued job (payload pickled under its dir)."""
+        with self._lock:
+            self._seq += 1
+            job_id = f"job-{self._seq:06d}"
+            job_dir = self.root / "jobs" / job_id
+            job_dir.mkdir(parents=True, exist_ok=True)
+            with open(job_dir / "payload.pkl", "wb") as handle:
+                pickle.dump(payload, handle, pickle.HIGHEST_PROTOCOL)
+            now = time.time()
+            job = Job(
+                job_id=job_id, client=client, kind=kind,
+                created_s=now, updated_s=now,
+            )
+            self._jobs[job_id] = job
+            self._append({
+                "seq": self._seq, "ts": now, "job": job_id,
+                "state": "queued", "client": client, "kind": kind,
+            })
+            return job
+
+    def transition(
+        self, job_id: str, state: str, detail: str = "", **fields: Any
+    ) -> Job:
+        """Move a job to ``state``, appending the event to the ledger.
+
+        Extra ``fields`` (``attempts``, ``executor``, ``error``,
+        ``degraded``, ``result_summary``) ride on the same event so the
+        ledger line is the complete record of the transition.
+        """
+        if state not in STATES:
+            raise ValueError(f"unknown job state {state!r}")
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                raise UnknownJobError(job_id)
+            if state not in _ALLOWED[job.state] and state != job.state:
+                raise ValueError(
+                    f"illegal transition {job.state!r} -> {state!r} "
+                    f"for {job_id}"
+                )
+            self._seq += 1
+            now = time.time()
+            event: Dict[str, Any] = {
+                "seq": self._seq, "ts": now, "job": job_id,
+                "state": state, "detail": detail,
+            }
+            event.update(fields)
+            self._apply(event)
+            self._append(event)
+            return job
+
+    def recover(self) -> List[Job]:
+        """Convert interrupted ``running`` jobs to ``resumable``.
+
+        Called once when the service opens its store; returns every job
+        that should be re-enqueued (recovered + queued + resumable).
+        """
+        requeue: List[Job] = []
+        for job in self.jobs():
+            if job.state == "running":
+                self.transition(
+                    job.job_id, "resumable",
+                    detail="recovered after service restart",
+                )
+                requeue.append(job)
+            elif job.state in ("queued", "resumable"):
+                requeue.append(job)
+        requeue.sort(key=lambda j: j.job_id)
+        return requeue
+
+    # -- lookups -----------------------------------------------------------
+
+    def get(self, job_id: str) -> Job:
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise UnknownJobError(job_id)
+        return job
+
+    def jobs(self) -> List[Job]:
+        with self._lock:
+            return sorted(self._jobs.values(), key=lambda j: j.job_id)
+
+    def active_count(self, client: str) -> int:
+        """Jobs counting against ``client``'s quota."""
+        with self._lock:
+            return sum(
+                1 for job in self._jobs.values()
+                if job.client == client and job.state in ACTIVE_STATES
+            )
+
+    # -- per-job artifacts -------------------------------------------------
+
+    def _job_dir(self, job_id: str) -> Path:
+        return self.root / "jobs" / job_id
+
+    def load_payload(self, job_id: str) -> Any:
+        with open(self._job_dir(job_id) / "payload.pkl", "rb") as handle:
+            return pickle.load(handle)
+
+    def checkpoints(self, job_id: str) -> CheckpointStore:
+        """The job's engine checkpoint store (resume substrate)."""
+        return CheckpointStore(self._job_dir(job_id) / "ckpt")
+
+    def save_result(self, job_id: str, result: Any) -> None:
+        path = self._job_dir(job_id) / "result.pkl"
+        tmp = path.with_suffix(".pkl.tmp")
+        with open(tmp, "wb") as handle:
+            pickle.dump(result, handle, pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+
+    def load_result(self, job_id: str) -> Any:
+        path = self._job_dir(job_id) / "result.pkl"
+        if not path.exists():
+            return None
+        with open(path, "rb") as handle:
+            return pickle.load(handle)

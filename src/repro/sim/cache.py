@@ -47,6 +47,7 @@ from typing import Any, Dict, Optional
 
 from repro import obs
 from repro.sim.elaborate import Design
+from repro.testing import faults
 
 __all__ = [
     "BACKEND_VERSION",
@@ -161,6 +162,10 @@ def load(kind: str, *parts: str) -> Optional[Any]:
         return None
     path = _path_for(root, _key(kind, *parts))
     try:
+        # An armed "raise" at this point stands in for a corrupt or
+        # unreadable entry: it lands in the generic handler below, so
+        # the evict-and-miss recovery path is directly testable.
+        faults.fire("sim.cache.load")
         with open(path, "rb") as handle:
             entry = pickle.load(handle)
     except FileNotFoundError:

@@ -1,0 +1,13 @@
+"""repro.testing — deterministic test substrates shipped with the library.
+
+Currently one module: :mod:`repro.testing.faults`, the fault-injection
+registry that makes every recovery path in the repo directly drivable
+(``REPRO_FAULTS=point:kind:nth``) instead of relying on ``os._exit``
+races.  It lives in the installed package, not under ``tests/``, because
+production code hosts the fault *points* and CI smoke runs arm them from
+the environment.
+"""
+
+from repro.testing import faults
+
+__all__ = ["faults"]

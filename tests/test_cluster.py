@@ -7,7 +7,10 @@ requeue, stale-fingerprint rejection at handshake, coordinator loss
 resumed from checkpoint, and sticky lockstep-group routing — each
 asserting the cluster run stays verdict-identical to a serial one,
 candidate for candidate.  The local-pool analogue (``WorkerDiedError``
-plus one requeue in :class:`ParallelExecutor`) is covered at the end.
+plus one requeue in :class:`ParallelExecutor`) is covered at the end;
+hard worker/coordinator deaths are armed through
+:mod:`repro.testing.faults` (``pool.chunk``, ``checkpoint.save``)
+rather than bespoke ``os._exit`` stages.
 """
 
 from __future__ import annotations
@@ -45,6 +48,7 @@ from repro.engine.cluster import (
 )
 from repro.evalkit import EvalPlan, PassAtKTask
 from repro.llm import LanguageModel
+from repro.testing import faults
 from repro.vereval import EvalConfig, build_problem_set
 
 
@@ -288,25 +292,20 @@ class TestClusterFaults:
 
 
 _RESUME_TAG = "cluster-resume"
-_RESUME_KILL_AFTER_SAVES = 5
 
 
 def _resume_child_main(root: str) -> None:
-    """Run the plan on a cluster, dying hard mid-run like a lost host."""
+    """Run the plan on a cluster, dying hard mid-run like a lost host.
+
+    The death is an armed ``checkpoint.save`` fault, not a monkeypatched
+    store: the 5th save (the third block's segment) hard-exits with
+    :data:`faults.EXIT_CODE` *before* any bytes move, leaving saves 1-4
+    (two complete segment+head pairs) on disk for the parent to resume.
+    """
     os.environ["REPRO_CLUSTER_WORKERS"] = "2"
-    store = CheckpointStore(root)
-    original_save = CheckpointStore.save
-    state = {"saves": 0}
-
-    def dying_save(self, key, obj):
-        original_save(self, key, obj)
-        state["saves"] += 1
-        if state["saves"] >= _RESUME_KILL_AFTER_SAVES:
-            os._exit(0)
-
-    CheckpointStore.save = dying_save
+    os.environ[faults.ENV_VAR] = "checkpoint.save:exit:5"
     _make_plan().run(
-        store=store, tag=_RESUME_TAG, checkpoint_every=4,
+        store=CheckpointStore(root), tag=_RESUME_TAG, checkpoint_every=4,
         executor="cluster",
     )
     os._exit(1)  # finishing means the kill never fired
@@ -321,7 +320,7 @@ class TestCoordinatorLossResume:
         child = ctx.Process(target=_resume_child_main, args=(root,))
         child.start()
         child.join(120)
-        assert child.exitcode == 0
+        assert child.exitcode == faults.EXIT_CODE
 
         store = CheckpointStore(root)
         head = store.load(_RESUME_TAG)
@@ -353,32 +352,21 @@ class TestCoordinatorLossResume:
 # -- the local-pool analogue ------------------------------------------------
 
 
-class _PoisonStage(MapStage):
-    """Kills its worker on item 13 — always, or only until ``marker``
-    exists (created just before dying), making the crash one-shot."""
-
-    name = "poison"
-    parallel_safe = True
-
-    def __init__(self, marker=None):
-        self.marker = marker
-
-    def map_item(self, item):
-        if item == 13:
-            if self.marker is None:
-                os._exit(1)
-            if not os.path.exists(self.marker):
-                with open(self.marker, "w"):
-                    pass
-                os._exit(1)
-        return item * 2
-
-
 class TestPoolWorkerDied:
-    def test_transient_death_requeues_once(self, tmp_path):
+    """Pool-worker death driven through the ``pool.chunk`` fault point.
+
+    These used to ride on a stage that ``os._exit``-ed when it saw item
+    13 — a crash wired to incidental data, racing over which worker drew
+    which chunk.  The armed fault is explicit instead: forked pool
+    workers inherit ``REPRO_FAULTS`` and count their own activations, so
+    "one worker dies once" is the once-marker, and "every worker always
+    dies" is ``nth=0``.
+    """
+
+    def test_transient_death_requeues_once(self, tmp_path, monkeypatch):
         marker = str(tmp_path / "died-once")
+        monkeypatch.setenv(faults.ENV_VAR, f"pool.chunk:exit:1:{marker}")
         chunks = list(iter_chunks(range(20), 5))
-        stages = [_PoisonStage(marker=marker)]
         serial = [
             out for out, _ in SerialExecutor().map_chunks(
                 [_DoubleStage()], chunks
@@ -386,19 +374,23 @@ class TestPoolWorkerDied:
         ]
         with ParallelExecutor(workers=2) as executor:
             outputs = [
-                out for out, _ in executor.map_chunks(stages, chunks)
+                out
+                for out, _ in executor.map_chunks([_DoubleStage()], chunks)
             ]
         assert outputs == serial
+        # the marker proves the injected death actually fired
         assert os.path.exists(marker)
 
-    def test_persistent_death_raises_typed_error(self):
+    def test_persistent_death_raises_typed_error(self, monkeypatch):
+        # nth=0, no marker: every worker dies on every chunk it touches,
+        # so the retry budget (one requeue) runs dry on the first chunk.
+        monkeypatch.setenv(faults.ENV_VAR, "pool.chunk:exit:0")
         chunks = list(iter_chunks(range(20), 5))
         with ParallelExecutor(workers=2) as executor:
             with pytest.raises(WorkerDiedError) as info:
-                list(executor.map_chunks([_PoisonStage()], chunks))
-        # item 13 lives in chunk 2; the error names it and the stage run
-        assert info.value.chunk_index == 2
-        assert "poison" in info.value.stage
+                list(executor.map_chunks([_DoubleStage()], chunks))
+        assert info.value.chunk_index == 0
+        assert "double" in info.value.stage
         assert info.value.attempts == 2
 
 

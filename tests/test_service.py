@@ -1,0 +1,591 @@
+"""The evaluation service under supervision, faults, and restarts.
+
+Every recovery promise the service makes is driven deterministically
+through :mod:`repro.testing.faults` and asserted against the invariant
+that matters: a supervised, crashed, resumed, or degraded job finishes
+with verdicts identical, candidate for candidate, to an uninterrupted
+serial run of the same plan.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import os
+import pickle
+import signal
+import subprocess
+import sys
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import obs
+from repro.engine import CheckpointStore
+from repro.errors import PlanInterrupted
+from repro.evalkit import EvalPlan, PassAtKTask
+from repro.github.scraper import ScrapedFile
+from repro.llm import LanguageModel
+from repro.service import (
+    CurationJobSpec,
+    EvalJobSpec,
+    EvalService,
+    JobStore,
+    QuotaExceeded,
+    ServiceConfig,
+    UnknownJobError,
+    serve,
+)
+from repro.testing import faults
+from repro.vereval import EvalConfig, build_problem_set
+
+
+@pytest.fixture(autouse=True)
+def _clean_faults():
+    # Each EvalService points the process-wide sim cache at its own
+    # root; restore the previous override so later test modules see the
+    # state they expect.
+    from repro.sim import cache as sim_cache
+
+    previous = sim_cache.configure(None)
+    sim_cache.configure(previous)
+    faults.disarm()
+    yield
+    faults.disarm()
+    sim_cache.configure(previous)
+
+
+def _make_plan(n_problems=2, n_samples=2, chunk_size=2):
+    model = LanguageModel.pretrain(
+        "demo",
+        ["module m(input a, output y); assign y = ~a; endmodule"] * 6,
+    )
+    task = PassAtKTask(
+        build_problem_set(n_problems=n_problems),
+        EvalConfig(n_samples=n_samples, ks=(1,), temperatures=(0.4,),
+                   max_new_tokens=64),
+    )
+    return EvalPlan([model], [task], chunk_size=chunk_size)
+
+
+def _verdicts(run):
+    return [
+        (r.model_name, r.task_id, r.unit_id, r.sample_index, r.passed,
+         r.completion)
+        for r in run.records
+    ]
+
+
+@pytest.fixture(scope="module")
+def plan():
+    return _make_plan()
+
+
+@pytest.fixture(scope="module")
+def serial_run(plan):
+    return _make_plan().run()
+
+
+def _config(**overrides):
+    base = dict(
+        workers=1,
+        quota=8,
+        max_retries=2,
+        executors=("serial",),
+        retry_base_delay_s=0.0,
+    )
+    base.update(overrides)
+    return ServiceConfig(**base)
+
+
+# -- the job store -----------------------------------------------------------
+
+
+class TestJobStore:
+    def test_ledger_replays_across_reopen(self, tmp_path):
+        store = JobStore(tmp_path)
+        job = store.create("alice", "eval", {"payload": 1})
+        store.transition(job.job_id, "running", attempts=1)
+        store.transition(job.job_id, "done",
+                         result_summary={"records": 4})
+        reopened = JobStore(tmp_path)
+        replayed = reopened.get(job.job_id)
+        assert replayed.state == "done"
+        assert replayed.attempts == 1
+        assert replayed.result_summary == {"records": 4}
+        assert reopened.load_payload(job.job_id) == {"payload": 1}
+
+    def test_recover_marks_running_as_resumable(self, tmp_path):
+        store = JobStore(tmp_path)
+        running = store.create("alice", "eval", 1)
+        store.transition(running.job_id, "running", attempts=1)
+        queued = store.create("alice", "eval", 2)
+        done = store.create("alice", "eval", 3)
+        store.transition(done.job_id, "running")
+        store.transition(done.job_id, "done")
+        reopened = JobStore(tmp_path)
+        requeued = reopened.recover()
+        assert [j.job_id for j in requeued] == [
+            running.job_id, queued.job_id
+        ]
+        assert reopened.get(running.job_id).state == "resumable"
+        assert reopened.get(done.job_id).state == "done"
+
+    def test_illegal_transition_rejected(self, tmp_path):
+        store = JobStore(tmp_path)
+        job = store.create("alice", "eval", 1)
+        store.transition(job.job_id, "cancelled")
+        with pytest.raises(ValueError, match="illegal transition"):
+            store.transition(job.job_id, "running")
+
+    def test_unknown_job(self, tmp_path):
+        store = JobStore(tmp_path)
+        with pytest.raises(UnknownJobError):
+            store.get("job-999999")
+
+    def test_active_count_per_client(self, tmp_path):
+        store = JobStore(tmp_path)
+        store.create("alice", "eval", 1)
+        bob = store.create("bob", "eval", 2)
+        finished = store.create("alice", "eval", 3)
+        store.transition(finished.job_id, "running")
+        store.transition(finished.job_id, "done")
+        assert store.active_count("alice") == 1
+        assert store.active_count("bob") == 1
+        store.transition(bob.job_id, "running")
+        assert store.active_count("bob") == 1  # running is still active
+
+    def test_torn_final_ledger_line_is_skipped(self, tmp_path):
+        store = JobStore(tmp_path)
+        store.create("alice", "eval", 1)
+        with open(tmp_path / JobStore.LEDGER, "a") as handle:
+            handle.write('{"seq": 99, "job": "job-0000')  # torn append
+        reopened = JobStore(tmp_path)
+        assert len(reopened.jobs()) == 1
+
+
+# -- supervised execution ----------------------------------------------------
+
+
+class TestSupervision:
+    def test_clean_job_completes(self, tmp_path, plan, serial_run):
+        service = EvalService(tmp_path, _config())
+        service.start()
+        try:
+            job = service.submit(EvalJobSpec(plan, checkpoint_every=2))
+            assert service.join(timeout_s=120)
+            final = service.status(job.job_id)
+            assert final.state == "done"
+            assert final.attempts == 1
+            assert final.result_summary["records"] == len(
+                serial_run.records
+            )
+            assert _verdicts(service.result(job.job_id)) == _verdicts(
+                serial_run
+            )
+        finally:
+            service.close()
+
+    def test_crash_resumes_from_checkpoint(
+        self, tmp_path, plan, serial_run
+    ):
+        # The third save (block 2's segment) crashes attempt 1 after one
+        # complete segment+head pair is durable; attempt 2 must resume
+        # from that checkpoint — not restart — and finish identically.
+        faults.arm("checkpoint.save", "raise", nth=3)
+        service = EvalService(tmp_path, _config())
+        service.start()
+        try:
+            job = service.submit(EvalJobSpec(plan, checkpoint_every=2))
+            assert service.join(timeout_s=120)
+            final = service.status(job.job_id)
+            assert final.state == "done", final.to_dict()
+            assert final.attempts == 2
+            assert _verdicts(service.result(job.job_id)) == _verdicts(
+                serial_run
+            )
+            # resume really started from the saved block: the engine
+            # skipped the checkpointed specs on attempt 2
+            events = [
+                json.loads(line)
+                for line in (
+                    service.store.root / "ledger.jsonl"
+                ).read_text().splitlines()
+            ]
+            crashed = [
+                e for e in events if e.get("error") == "InjectedFault"
+            ]
+            assert len(crashed) == 1
+            assert crashed[0]["state"] == "resumable"
+        finally:
+            service.close()
+
+    def test_retry_budget_exhausted_fails_typed(self, tmp_path, plan):
+        # Every save fails: the supervisor retries max_retries times,
+        # then the job lands failed with the typed cause on the ledger.
+        faults.arm("checkpoint.save", "raise", nth=0)
+        service = EvalService(tmp_path, _config(max_retries=1))
+        service.start()
+        try:
+            job = service.submit(EvalJobSpec(plan, checkpoint_every=2))
+            assert service.join(timeout_s=120)
+            final = service.status(job.job_id)
+            assert final.state == "failed"
+            assert final.attempts == 2  # 1 + max_retries
+            assert final.error == "InjectedFault"
+            assert "retry budget exhausted" in final.detail
+            assert service.result(job.job_id) is None
+        finally:
+            service.close()
+
+    def test_nonretryable_error_fails_immediately(self, tmp_path):
+        # A payload the service cannot run is a logic error, not a
+        # transient fault: one attempt, failed, no retries burned.
+        service = EvalService(tmp_path, _config(max_retries=3))
+        job = service.store.create("anon", "eval", {"not": "a spec"})
+        service._run_job(service.store.get(job.job_id))
+        final = service.status(job.job_id)
+        assert final.state == "failed"
+        assert final.attempts == 1
+        assert final.error == "ReproError"
+
+
+# -- drain and restart -------------------------------------------------------
+
+
+class TestDrainAndRestart:
+    def test_stop_hook_drains_at_boundary_then_resumes(
+        self, tmp_path, serial_run
+    ):
+        # Plan-level drain mechanics, deterministically: stop() is
+        # polled once per checkpoint block, so flipping on the second
+        # poll drains with exactly one block saved.
+        plan = _make_plan()
+        store = CheckpointStore(tmp_path / "ckpt")
+        polls = []
+        with pytest.raises(PlanInterrupted, match="drained at a"):
+            plan.run(
+                store=store, tag="job", checkpoint_every=2,
+                stop=lambda: polls.append(1) or len(polls) > 1,
+            )
+        head = store.load("job")
+        assert head is not None and head["segments"] == 1
+        resumed = _make_plan().run(
+            store=store, tag="job", checkpoint_every=2
+        )
+        assert _verdicts(resumed) == _verdicts(serial_run)
+
+    def test_drain_marks_running_job_resumable_then_restart_finishes(
+        self, tmp_path, plan, serial_run
+    ):
+        # First service: draining before the block loop starts, so the
+        # stop hook fires on the first poll and the job lands resumable.
+        service = EvalService(tmp_path, _config())
+        job = service.submit(EvalJobSpec(plan, checkpoint_every=2))
+        service.drain()
+        service._run_job(service.store.get(job.job_id))
+        assert service.status(job.job_id).state == "resumable"
+
+        # Second service over the same root: recover() re-enqueues the
+        # resumable job and it completes identically.
+        restarted = EvalService(tmp_path, _config())
+        recovered = restarted.start()
+        try:
+            assert [j.job_id for j in recovered] == [job.job_id]
+            assert restarted.join(timeout_s=120)
+            final = restarted.status(job.job_id)
+            assert final.state == "done"
+            assert _verdicts(restarted.result(job.job_id)) == _verdicts(
+                serial_run
+            )
+        finally:
+            restarted.close()
+
+    def test_interrupted_running_job_recovers_on_reopen(
+        self, tmp_path, plan
+    ):
+        # A service that died mid-job (no clean drain): the ledger still
+        # says running; the next open converts it to resumable.
+        service = EvalService(tmp_path, _config())
+        job = service.submit(EvalJobSpec(plan, checkpoint_every=2))
+        service.store.transition(job.job_id, "running", attempts=1)
+
+        restarted = EvalService(tmp_path, _config())
+        recovered = restarted.store.recover()
+        assert [j.job_id for j in recovered] == [job.job_id]
+        assert restarted.status(job.job_id).state == "resumable"
+
+    def test_sigterm_drains_the_service_process(self, tmp_path):
+        # Signal wiring end to end: SIGTERM -> drain -> clean exit 0.
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.abspath("src")
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.service",
+                "--root", str(tmp_path / "svc"), "--workers", "1",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+        )
+        try:
+            line = proc.stdout.readline()  # the startup banner
+            assert "repro.service on http://127.0.0.1:" in line
+            proc.send_signal(signal.SIGTERM)
+            out, _ = proc.communicate(timeout=60)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+        assert proc.returncode == 0
+        assert "draining" in out
+        assert "drained" in out
+
+
+# -- quotas ------------------------------------------------------------------
+
+
+class TestQuota:
+    def test_per_client_quota_enforced(self, tmp_path, plan):
+        # Workers never started: submitted jobs stay queued (active).
+        service = EvalService(tmp_path, _config(quota=2))
+        service.submit(EvalJobSpec(plan), client="alice")
+        service.submit(EvalJobSpec(plan), client="alice")
+        with pytest.raises(QuotaExceeded, match="alice"):
+            service.submit(EvalJobSpec(plan), client="alice")
+        # Another client has their own bucket.
+        service.submit(EvalJobSpec(plan), client="bob")
+
+    def test_cancel_frees_quota(self, tmp_path, plan):
+        service = EvalService(tmp_path, _config(quota=1))
+        job = service.submit(EvalJobSpec(plan), client="alice")
+        with pytest.raises(QuotaExceeded):
+            service.submit(EvalJobSpec(plan), client="alice")
+        service.cancel(job.job_id)
+        assert service.status(job.job_id).state == "cancelled"
+        service.submit(EvalJobSpec(plan), client="alice")
+
+
+# -- degradation -------------------------------------------------------------
+
+
+class TestDegradation:
+    def test_ladder_degrades_to_serial_with_identical_verdicts(
+        self, tmp_path, plan, serial_run
+    ):
+        # Both upper rungs are unavailable every time they are tried:
+        # the job must degrade cluster -> pool -> serial, record the
+        # ladder on the job, and still produce identical verdicts —
+        # without charging the retry budget for infrastructure trouble.
+        faults.arm("service.executor.cluster", "raise", nth=0)
+        faults.arm("service.executor.pool", "raise", nth=0)
+        service = EvalService(
+            tmp_path, _config(executors=("cluster", "pool", "serial"))
+        )
+        service.start()
+        try:
+            before = obs.counter_value("service.degraded")
+            job = service.submit(EvalJobSpec(plan, checkpoint_every=2))
+            assert service.join(timeout_s=120)
+            final = service.status(job.job_id)
+            assert final.state == "done", final.to_dict()
+            assert final.attempts == 1  # degradation is not a retry
+            assert final.degraded == ["cluster", "pool"]
+            assert final.executor == "serial"
+            assert (
+                obs.counter_value("service.degraded") == before + 2
+            )
+            assert _verdicts(service.result(job.job_id)) == _verdicts(
+                serial_run
+            )
+        finally:
+            service.close()
+
+    def test_empty_ladder_exhaustion_fails_job(self, tmp_path, plan):
+        faults.arm("service.executor.serial", "raise", nth=0)
+        service = EvalService(
+            tmp_path, _config(executors=("serial",), max_retries=0)
+        )
+        service.start()
+        try:
+            job = service.submit(EvalJobSpec(plan))
+            assert service.join(timeout_s=60)
+            final = service.status(job.job_id)
+            assert final.state == "failed"
+            assert final.error == "ExecutorUnavailable"
+        finally:
+            service.close()
+
+
+# -- warm caches -------------------------------------------------------------
+
+
+class TestWarmCaches:
+    def test_tasks_interned_by_protocol_fingerprint(
+        self, tmp_path, serial_run
+    ):
+        service = EvalService(tmp_path, _config())
+        service.start()
+        try:
+            hits = obs.counter_value("service.warm.hits")
+            misses = obs.counter_value("service.warm.misses")
+            first = service.submit(
+                EvalJobSpec(_make_plan(), checkpoint_every=2)
+            )
+            assert service.join(timeout_s=120)
+            second = service.submit(
+                EvalJobSpec(_make_plan(), checkpoint_every=2)
+            )
+            assert service.join(timeout_s=120)
+            assert obs.counter_value("service.warm.misses") == misses + 1
+            assert obs.counter_value("service.warm.hits") == hits + 1
+            assert len(service.warm) == 1
+            for job in (first, second):
+                assert service.status(job.job_id).state == "done"
+                assert _verdicts(service.result(job.job_id)) == _verdicts(
+                    serial_run
+                )
+        finally:
+            service.close()
+
+    def test_sim_cache_configured_under_service_root(self, tmp_path):
+        from repro.sim import cache as sim_cache
+
+        previous = sim_cache.cache_dir()
+        service = EvalService(tmp_path, _config())
+        try:
+            assert sim_cache.cache_dir() == str(
+                service.store.root / "simcache"
+            )
+        finally:
+            sim_cache.configure(previous)
+
+
+# -- curation jobs -----------------------------------------------------------
+
+
+class TestCurationJobs:
+    def test_curation_job_runs_to_done(self, tmp_path):
+        from repro.curation.pipeline import CurationConfig
+
+        files = [
+            ScrapedFile(
+                repo_full_name=f"acme/repo{i}",
+                author="acme",
+                path=f"rtl/mod{i}.v",
+                content=(
+                    f"module m{i}(input a, output y); "
+                    "assign y = ~a; endmodule"
+                ),
+                license_key="mit",
+                created_at=datetime.date(2024, 1, 1),
+            )
+            for i in range(4)
+        ]
+        service = EvalService(tmp_path, _config())
+        service.start()
+        try:
+            job = service.submit(
+                CurationJobSpec(CurationConfig(), files)
+            )
+            assert service.join(timeout_s=120)
+            final = service.status(job.job_id)
+            assert final.state == "done", final.to_dict()
+            assert final.result_summary["kind"] == "curation"
+            assert final.result_summary["files_in"] == 4
+            dataset = service.result(job.job_id)
+            assert len(dataset.files) == final.result_summary[
+                "files_kept"
+            ]
+        finally:
+            service.close()
+
+
+# -- the HTTP window ---------------------------------------------------------
+
+
+class TestHTTP:
+    @pytest.fixture()
+    def running(self, tmp_path):
+        service = EvalService(tmp_path, _config())
+        service.start()
+        server = serve(service)
+        yield service, f"http://127.0.0.1:{server.port}"
+        service.close()
+        server.shutdown()
+
+    def _post(self, url, data=b"", headers=None):
+        request = urllib.request.Request(
+            url, data=data, method="POST", headers=dict(headers or {})
+        )
+        return json.load(urllib.request.urlopen(request))
+
+    def test_submit_status_result_roundtrip(
+        self, running, plan, serial_run
+    ):
+        service, base = running
+        body = pickle.dumps(EvalJobSpec(plan, checkpoint_every=2))
+        job = self._post(
+            f"{base}/submit", body, {"X-Repro-Client": "alice"}
+        )
+        assert job["state"] == "queued"
+        assert job["client"] == "alice"
+        assert service.join(timeout_s=120)
+        status = json.load(
+            urllib.request.urlopen(f"{base}/status/{job['job_id']}")
+        )
+        assert status["state"] == "done"
+        summary = json.load(
+            urllib.request.urlopen(f"{base}/result/{job['job_id']}")
+        )
+        assert summary["result_summary"]["records"] == len(
+            serial_run.records
+        )
+        blob = urllib.request.urlopen(
+            f"{base}/result/{job['job_id']}?pickle=1"
+        ).read()
+        assert _verdicts(pickle.loads(blob)) == _verdicts(serial_run)
+        jobs = json.load(urllib.request.urlopen(f"{base}/jobs"))
+        assert [j["job_id"] for j in jobs["jobs"]] == [job["job_id"]]
+
+    def test_quota_maps_to_429(self, tmp_path, plan):
+        service = EvalService(tmp_path, _config(quota=1))
+        server = serve(service)  # workers not started: job stays queued
+        base = f"http://127.0.0.1:{server.port}"
+        try:
+            body = pickle.dumps(EvalJobSpec(plan))
+            self._post(f"{base}/submit", body, {"X-Repro-Client": "a"})
+            with pytest.raises(urllib.error.HTTPError) as info:
+                self._post(
+                    f"{base}/submit", body, {"X-Repro-Client": "a"}
+                )
+            assert info.value.code == 429
+        finally:
+            server.shutdown()
+
+    def test_unknown_routes_and_jobs_are_404(self, running):
+        _service, base = running
+        for url in (
+            f"{base}/status/job-999999",
+            f"{base}/result/job-999999",
+            f"{base}/nope",
+        ):
+            with pytest.raises(urllib.error.HTTPError) as info:
+                urllib.request.urlopen(url)
+            assert info.value.code == 404
+
+    def test_cancel_and_drain_over_http(self, tmp_path, plan):
+        service = EvalService(tmp_path, _config(quota=4))
+        server = serve(service)  # workers not started: cancel while queued
+        base = f"http://127.0.0.1:{server.port}"
+        try:
+            body = pickle.dumps(EvalJobSpec(plan))
+            job = self._post(f"{base}/submit", body)
+            cancelled = self._post(f"{base}/cancel/{job['job_id']}")
+            assert cancelled["state"] == "cancelled"
+            assert self._post(f"{base}/drain") == {"draining": True}
+            with pytest.raises(urllib.error.HTTPError):
+                self._post(f"{base}/submit", body)  # draining: rejected
+        finally:
+            server.shutdown()

@@ -1,0 +1,208 @@
+#!/usr/bin/env python
+"""jobctl — talk to a running ``python -m repro.service`` from the CLI.
+
+Subcommands (all stdlib, all against http://127.0.0.1:<port>):
+
+* ``submit <payload.pkl>`` — POST a pickled EvalJobSpec/CurationJobSpec
+  (build one with ``repro.service.EvalJobSpec(plan)`` and
+  ``pickle.dump``); prints the queued job id;
+* ``status <job_id>`` — one job's current ledger state;
+* ``jobs`` — every job the service knows about;
+* ``result <job_id>`` — the result summary (``--pickle OUT`` saves the
+  full pickled result object instead);
+* ``cancel <job_id>`` — cancel a job;
+* ``drain`` — ask the service to drain to resumable;
+* ``tail <ledger.jsonl>`` — pretty-print a service ledger, following
+  appends with ``-f`` (reads the file directly, no service needed).
+
+Example::
+
+    PYTHONPATH=src python -m repro.service --root /tmp/svc --port 8787 &
+    PYTHONPATH=src python tools/jobctl.py submit plan.pkl --port 8787
+    PYTHONPATH=src python tools/jobctl.py status job-000001 --port 8787
+    PYTHONPATH=src python tools/jobctl.py tail /tmp/svc/ledger.jsonl
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+
+
+def _url(args: argparse.Namespace, path: str) -> str:
+    return f"http://127.0.0.1:{args.port}{path}"
+
+
+def _get(args: argparse.Namespace, path: str):
+    with urllib.request.urlopen(_url(args, path)) as resp:
+        return json.load(resp)
+
+
+def _post(args: argparse.Namespace, path: str, data: bytes = b"",
+          headers=None):
+    request = urllib.request.Request(
+        _url(args, path), data=data, method="POST",
+        headers=dict(headers or {}),
+    )
+    with urllib.request.urlopen(request) as resp:
+        return json.load(resp)
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    with open(args.payload, "rb") as handle:
+        body = handle.read()
+    job = _post(
+        args, "/submit", body, headers={"X-Repro-Client": args.client}
+    )
+    print(json.dumps(job, indent=2, sort_keys=True))
+    return 0
+
+
+def cmd_status(args: argparse.Namespace) -> int:
+    print(json.dumps(_get(args, f"/status/{args.job_id}"),
+                     indent=2, sort_keys=True))
+    return 0
+
+
+def cmd_jobs(args: argparse.Namespace) -> int:
+    for job in _get(args, "/jobs")["jobs"]:
+        print(
+            f"{job['job_id']}  {job['state']:<10} "
+            f"attempts={job['attempts']} client={job['client']} "
+            f"{job['detail']}"
+        )
+    return 0
+
+
+def cmd_result(args: argparse.Namespace) -> int:
+    if args.pickle:
+        with urllib.request.urlopen(
+            _url(args, f"/result/{args.job_id}?pickle=1")
+        ) as resp:
+            blob = resp.read()
+        with open(args.pickle, "wb") as handle:
+            handle.write(blob)
+        print(f"wrote {len(blob)} bytes to {args.pickle}")
+    else:
+        print(json.dumps(_get(args, f"/result/{args.job_id}"),
+                         indent=2, sort_keys=True))
+    return 0
+
+
+def cmd_cancel(args: argparse.Namespace) -> int:
+    print(json.dumps(_post(args, f"/cancel/{args.job_id}"),
+                     indent=2, sort_keys=True))
+    return 0
+
+
+def cmd_drain(args: argparse.Namespace) -> int:
+    print(json.dumps(_post(args, "/drain"), indent=2, sort_keys=True))
+    return 0
+
+
+def _format_event(line: str) -> str:
+    try:
+        event = json.loads(line)
+    except json.JSONDecodeError:
+        return f"?? {line.rstrip()}"
+    stamp = time.strftime(
+        "%H:%M:%S", time.localtime(event.get("ts", 0))
+    )
+    extra = []
+    for key in ("attempts", "executor", "error", "degraded"):
+        if event.get(key):
+            extra.append(f"{key}={event[key]}")
+    detail = event.get("detail", "")
+    return (
+        f"{stamp}  {event.get('job', '?'):<12} "
+        f"{event.get('state', '?'):<10} "
+        f"{' '.join(extra)}{'  ' if extra and detail else ''}{detail}"
+    )
+
+
+def cmd_tail(args: argparse.Namespace) -> int:
+    with open(args.ledger, "r", encoding="utf-8") as handle:
+        for line in handle:
+            if line.strip():
+                print(_format_event(line))
+        while args.follow:
+            line = handle.readline()
+            if line:
+                if line.strip():
+                    print(_format_event(line), flush=True)
+            else:
+                time.sleep(0.2)
+    return 0
+
+
+def main(argv=None) -> int:
+    # --port is accepted both before and after the subcommand
+    # (``jobctl --port N jobs`` and ``jobctl jobs --port N``).  The
+    # subcommand copy uses SUPPRESS so its default cannot clobber a
+    # value already parsed by the top-level parser (bpo-9351).
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--port", type=int, default=argparse.SUPPRESS)
+    parser = argparse.ArgumentParser(
+        prog="jobctl", description=__doc__.splitlines()[0],
+    )
+    parser.add_argument("--port", type=int, default=8787)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("submit", help="POST a pickled job payload",
+                       parents=[common])
+    p.add_argument("payload")
+    p.add_argument("--client", default="jobctl")
+    p.set_defaults(fn=cmd_submit)
+
+    p = sub.add_parser("status", help="show one job",
+                   parents=[common])
+    p.add_argument("job_id")
+    p.set_defaults(fn=cmd_status)
+
+    p = sub.add_parser("jobs", help="list all jobs", parents=[common])
+    p.set_defaults(fn=cmd_jobs)
+
+    p = sub.add_parser("result", help="fetch a done job's result",
+                   parents=[common])
+    p.add_argument("job_id")
+    p.add_argument("--pickle", metavar="OUT",
+                   help="save the full pickled result here")
+    p.set_defaults(fn=cmd_result)
+
+    p = sub.add_parser("cancel", help="cancel a job", parents=[common])
+    p.add_argument("job_id")
+    p.set_defaults(fn=cmd_cancel)
+
+    p = sub.add_parser("drain", help="drain the service", parents=[common])
+    p.set_defaults(fn=cmd_drain)
+
+    p = sub.add_parser("tail", help="pretty-print a service ledger",
+                   parents=[common])
+    p.add_argument("ledger")
+    p.add_argument("-f", "--follow", action="store_true")
+    p.set_defaults(fn=cmd_tail)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except urllib.error.HTTPError as exc:
+        try:
+            message = json.load(exc).get("error", "")
+        except Exception:
+            message = ""
+        print(f"error {exc.code}: {message or exc.reason}", file=sys.stderr)
+        return 1
+    except urllib.error.URLError as exc:
+        print(
+            f"cannot reach service on port {args.port}: {exc.reason}",
+            file=sys.stderr,
+        )
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
