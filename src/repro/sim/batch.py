@@ -18,19 +18,35 @@ interpreter and the scalar compiled backend:
   chasing a dirty cone: with many lanes a single vectorized sweep beats
   per-lane cone chasing.
 
+Per-slot storage is picked per design by a width census
+(:func:`lane_representation`) over three *lane representations*:
+
+* ``int64`` — the baseline: one ``int64`` per lane, masked arithmetic;
+* ``spill`` — multi-word python-int lanes (``object`` dtype) for designs
+  carrying >63-bit signals or memories, which previously fell back to
+  the scalar loop; numpy dispatches the same vectorized lowering to the
+  python-int dunders, exact at any width (see :class:`_SpillCompiler`);
+* ``bitslice`` — for 1-bit-dominated control designs, each bit position
+  packs all lanes into one int and logic lowers to a handful of bitwise
+  ops per node (:mod:`repro.sim.bitslice`); arithmetic-heavy nodes stay
+  on the embedded int64 image and convert at the boundary.
+
 The backend is intentionally narrower than the scalar one, with a
 *scalar-fallback contract* mirroring the fixpoint-fallback contract of
 the compiled backend:
 
-* designs whose combinational region cannot be levelized, or that carry
-  any signal/memory wider than 63 bits (the ``int64`` lane budget), raise
+* designs whose combinational region cannot be levelized raise
   :class:`UnbatchableDesign` at lowering — callers (the ``Simulator``
   facade with ``backend="batch"``, :class:`~repro.sim.testbench.BatchTestbench`
   users, the vereval fast path) then fall back to the scalar backends,
-  which preserves ``SimulationError`` classification per lane;
-* the rare runtime construct int64 lanes cannot represent (a dynamic
-  field write landing above bit 62) raises :class:`BatchDivergence`
-  (a ``SimulationError``), again routing callers to the scalar replay.
+  which preserves ``SimulationError`` classification per lane (pinning
+  ``REPRO_SIM_LANES=int64`` restores the historical wide-design
+  fallback as well);
+* the rare runtime construct a bounded lane cannot represent (a dynamic
+  field write landing above the representation's write budget — bit 62
+  for int64 lanes, ``width + 64`` for spill) raises
+  :class:`BatchDivergence` (a ``SimulationError``), again routing
+  callers to the scalar replay.
 
 Lane-for-lane identity with the scalar compiled backend — values *and*
 error classification — is enforced by ``tests/test_sim_batch.py`` across
@@ -70,10 +86,12 @@ same scalar-fallback contract as everything above.
 from __future__ import annotations
 
 import hashlib
+import os
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.errors import SimulationError
 from repro.verilog import ast
 from repro.sim import eval as _ev
@@ -92,11 +110,16 @@ __all__ = [
     "BatchSimulator",
     "LockstepGroup",
     "LockstepSimulator",
+    "REPRESENTATIONS",
     "UnbatchableDesign",
     "batch_design",
     "build_lockstep_group",
+    "configure_lane_representation",
+    "configured_lane_representation",
     "is_stateless_comb",
+    "lane_representation",
     "lockstep_shape_digest",
+    "make_batch_simulator",
 ]
 
 #: int64 lanes hold nonnegative two's-complement values in bits 0..62;
@@ -104,6 +127,85 @@ __all__ = [
 _MAX_LANE_WIDTH = 63
 
 _I64 = np.int64
+
+#: the selectable lane representations, census-picked per design:
+#: ``int64`` (one int64 per lane), ``spill`` (python-int object lanes for
+#: >63-bit designs), ``bitslice`` (one bit-plane int packing all lanes,
+#: for 1-bit-dominated designs — see :mod:`repro.sim.bitslice`)
+REPRESENTATIONS = ("int64", "spill", "bitslice")
+
+_REP_ENV = "REPRO_SIM_LANES"
+
+#: process-wide pin; None defers to the environment, "auto" to the census
+_rep_override: Optional[str] = None
+
+
+def configure_lane_representation(rep: Optional[str]) -> Optional[str]:
+    """Pin the lane representation process-wide; returns the previous pin.
+
+    ``None`` defers to ``REPRO_SIM_LANES`` again; ``"auto"`` forces the
+    census even if the environment pins one.  Evaluation stages call
+    this in pool workers so a run's pin survives executor start methods
+    that do not inherit the environment.
+    """
+    global _rep_override
+    if rep is not None and rep != "auto" and rep not in REPRESENTATIONS:
+        raise ValueError(
+            f"unknown lane representation {rep!r}; expected one of "
+            f"{REPRESENTATIONS + ('auto',)}"
+        )
+    previous = _rep_override
+    _rep_override = rep
+    return previous
+
+
+def configured_lane_representation() -> Optional[str]:
+    """The active pin, or None when the per-design census decides."""
+    rep = _rep_override
+    if rep is None:
+        rep = os.environ.get(_REP_ENV) or None
+    if rep in (None, "auto"):
+        return None
+    if rep not in REPRESENTATIONS:
+        raise ValueError(
+            f"{_REP_ENV}={rep!r} is not one of {REPRESENTATIONS + ('auto',)}"
+        )
+    return rep
+
+
+def lane_representation(design: Design) -> str:
+    """Width-census pick of the lane representation for ``design``.
+
+    Any signal or memory wider than the int64 lane budget forces
+    ``"spill"`` (python-int lanes run the design instead of falling back
+    to the scalar loop).  Narrow designs dominated by 1-bit nets and
+    without memories pick ``"bitslice"``; everything else stays on
+    ``"int64"``.  A :func:`configure_lane_representation` /
+    ``REPRO_SIM_LANES`` pin overrides the census — except that pinning a
+    wide design to ``"int64"`` restores the historical
+    :class:`UnbatchableDesign` → scalar-fallback behaviour (the pin the
+    fallback-path tests use).
+    """
+    widths = [sig.width for sig in design.signals.values()]
+    mem_widths = [memory.width for memory in design.memories.values()]
+    wide = any(w > _MAX_LANE_WIDTH for w in widths) or any(
+        w > _MAX_LANE_WIDTH for w in mem_widths
+    )
+    pin = configured_lane_representation()
+    if wide:
+        return "int64" if pin == "int64" else "spill"
+    if pin is not None:
+        return pin
+    one_bit = sum(1 for w in widths if w == 1)
+    if (
+        widths
+        and not mem_widths
+        and 2 * one_bit >= len(widths)
+        and sum(widths) <= 256
+        and max(widths) <= 16
+    ):
+        return "bitslice"
+    return "int64"
 
 
 class UnbatchableDesign(UncompilableDesign):
@@ -125,17 +227,40 @@ class BatchDivergence(SimulationError):
     """
 
 
-def _parity(v):
+def _parity_folds(width: int) -> Tuple[int, ...]:
+    """Descending power-of-two xor-fold shifts covering ``width`` bits."""
+    shifts: List[int] = []
+    shift = 1
+    while shift < max(width, 2):
+        shifts.append(shift)
+        shift <<= 1
+    shifts.reverse()
+    return tuple(shifts)
+
+
+def _parity(v, shifts: Tuple[int, ...] = (32, 16, 8, 4, 2, 1)):
     """Per-lane XOR reduction (population-count parity) via xor-folding."""
-    for shift in (32, 16, 8, 4, 2, 1):
+    for shift in shifts:
         v = v ^ (v >> shift)
     return v & 1
 
 
-def _bit_length(v):
-    """Vectorized ``int.bit_length`` for nonnegative int64 values."""
+def _bit_length_folds(width: int) -> Tuple[int, ...]:
+    """Descending power-of-two probe shifts for values below 2**width."""
+    shift = 1
+    while (2 * shift - 1) < max(width - 1, 1):
+        shift <<= 1
+    shifts: List[int] = []
+    while shift:
+        shifts.append(shift)
+        shift >>= 1
+    return tuple(shifts)
+
+
+def _bit_length(v, shifts: Tuple[int, ...] = (32, 16, 8, 4, 2, 1)):
+    """Vectorized ``int.bit_length`` for nonnegative lane values."""
     out = np.zeros_like(v)
-    for shift in (32, 16, 8, 4, 2, 1):
+    for shift in shifts:
         big = v >= (1 << shift)
         out = out + np.where(big, shift, 0)
         v = np.where(big, v >> shift, v)
@@ -152,7 +277,7 @@ class BatchDesign(CompiledDesign):
     """Compile-once lane-parallel execution image of one design."""
 
     __slots__ = ("n_lanes", "lane_ix", "ones", "sched_nodes", "nodes_pred",
-                 "comb_latched")
+                 "comb_latched", "representation", "lane_dtype", "shift_cap")
 
     def __init__(self) -> None:
         super().__init__()
@@ -170,37 +295,91 @@ class BatchDesign(CompiledDesign):
         #: (a combinational latch): the signal then holds state between
         #: settles, so outputs are not a pure function of inputs
         self.comb_latched = False
+        #: which of :data:`REPRESENTATIONS` this image was lowered for
+        self.representation = "int64"
+        #: lane-array dtype (``object`` for spill: python-int lanes)
+        self.lane_dtype = _I64
+        #: clamp for nonblocking-commit shift counts (spill lanes admit
+        #: far larger shifts than the int64 budget)
+        self.shift_cap = _MAX_LANE_WIDTH
 
 
-def batch_design(design: Design, n_lanes: int) -> BatchDesign:
-    """Lower ``design`` for ``n_lanes`` lanes, caching per lane count.
+def batch_design(design: Design, n_lanes: int,
+                 representation: Optional[str] = None) -> BatchDesign:
+    """Lower ``design`` for ``n_lanes`` lanes, caching per (lanes, rep).
 
-    Raises :class:`UnbatchableDesign` when the design cannot be lane
-    lowered (not levelizable, or wider than the int64 lane budget); the
+    The lane representation defaults to the :func:`lane_representation`
+    width census (int64 / spill / bitslice); pass one explicitly to
+    bypass the census.  Raises :class:`UnbatchableDesign` when the
+    design cannot be lane lowered under the chosen representation (not
+    levelizable, or wider than an int64 lane budget that applies); the
     negative outcome is cached too, so repeated probes stay cheap.  The
     cache is dropped on pickling (``Design.__getstate__``), like the
     scalar compile cache.  ``n_lanes`` must be at least 1; asking for
     zero or negative lanes is a caller bug surfaced as ``ValueError``
     instead of an empty-array failure deep inside numpy.
+
+    A bitslice request that the plane lowerer cannot honour degrades to
+    the int64 image (counted as ``bitslice.fallback_int64``) — bitslice
+    is an accelerator, never a correctness dependency.
     """
     if n_lanes < 1:
         raise ValueError(f"n_lanes must be >= 1, got {n_lanes}")
+    rep = representation or lane_representation(design)
+    if rep not in REPRESENTATIONS:
+        raise ValueError(
+            f"unknown lane representation {rep!r}; expected one of "
+            f"{REPRESENTATIONS}"
+        )
     cache = getattr(design, "_batch", None)
     if cache is None:
         cache = {}
         design._batch = cache
-    cached = cache.get(n_lanes, False)
+    key = (n_lanes, rep)
+    cached = cache.get(key, False)
     if cached is not False:
         if cached is None:
             raise UnbatchableDesign("design is not lane-parallelizable")
         return cached
     try:
-        bd = _BatchCompiler(design, n_lanes).compile()
+        if rep == "bitslice":
+            from repro.sim import bitslice as _bitslice
+
+            bd = _bitslice.compile_bitslice(design, n_lanes)
+        elif rep == "spill":
+            bd = _SpillCompiler(design, n_lanes).compile()
+        else:
+            bd = _BatchCompiler(design, n_lanes).compile()
     except UncompilableDesign:
-        cache[n_lanes] = None
+        cache[key] = None
         raise
-    cache[n_lanes] = bd
+    obs.count(f"batch.rep.{bd.representation}")
+    cache[key] = bd
     return bd
+
+
+def make_batch_simulator(design: Design, n_lanes: int = 1,
+                         max_settle_rounds: Optional[int] = None,
+                         representation: Optional[str] = None):
+    """Census-dispatching simulator constructor.
+
+    Returns a :class:`~repro.sim.bitslice.BitsliceSimulator` when the
+    width census (or an explicit ``representation``) picks the bit-plane
+    backend and the design plane-lowers, else a plain
+    :class:`BatchSimulator` over the int64/spill image.  This is the
+    constructor the sweep and checking fast paths use; constructing
+    :class:`BatchSimulator` directly on a bitslice-census design simply
+    runs its embedded int64 image.
+    """
+    bd = batch_design(design, n_lanes, representation)
+    if bd.representation == "bitslice":
+        from repro.sim.bitslice import BitsliceSimulator
+
+        return BitsliceSimulator(design, bd, max_settle_rounds)
+    return BatchSimulator(
+        design, max_settle_rounds, n_lanes=n_lanes,
+        representation=bd.representation,
+    )
 
 
 def is_stateless_comb(bd: BatchDesign) -> bool:
@@ -234,7 +413,22 @@ class _BatchCompiler(_Compiler):
     ``(st, mems, o, mo) -> int64 array`` (constants stay python ints and
     broadcast); statement closures gain a lane-predicate argument:
     ``(st, mems, o, mo, nba, pred)``.
+
+    The class attributes parameterize the lane representation; the
+    :class:`_SpillCompiler` subclass overrides them (plus a handful of
+    emission hooks) to lower the same designs onto python-int object
+    lanes with no width budget.
     """
+
+    #: which of :data:`REPRESENTATIONS` this compiler emits
+    REPRESENTATION = "int64"
+    #: dtype of lane state arrays
+    LANE_DTYPE = _I64
+    #: max representable signal/expression width; None disables the check
+    WIDTH_BUDGET: Optional[int] = _MAX_LANE_WIDTH
+    #: clamp for dynamic *right*-shift counts (right shifts are safe at
+    #: any clamp; int64 lanes additionally need counts kept below 64)
+    SHIFT_CAP = _MAX_LANE_WIDTH
 
     def __init__(self, design: Design, n_lanes: int) -> None:
         super().__init__(design)
@@ -250,12 +444,45 @@ class _BatchCompiler(_Compiler):
             self._check_width(width)
 
     def _check_width(self, width: int) -> int:
-        if width > _MAX_LANE_WIDTH:
+        if self.WIDTH_BUDGET is not None and width > self.WIDTH_BUDGET:
             raise UnbatchableDesign(
-                f"width {width} exceeds the {_MAX_LANE_WIDTH}-bit int64 "
+                f"width {width} exceeds the {self.WIDTH_BUDGET}-bit int64 "
                 "lane budget"
             )
         return width
+
+    def _shl_clamp(self, width: int) -> int:
+        """Clamp for *left*-shift counts producing ``width``-bit values.
+
+        int64 lanes hold values below 2**63, so clamping at 63 is exact
+        (a shift of >= width bits masks to zero either way) and keeps
+        numpy's shift count in range.
+        """
+        return _MAX_LANE_WIDTH
+
+    def _dynamic_write_limit(self, sig_width: int) -> int:
+        """Highest bit position a dynamic field write may touch.
+
+        Beyond it the emitted guard raises :class:`BatchDivergence` and
+        the caller replays on the scalar backend (which keeps such
+        out-of-range bits in raw state — int64 lanes cannot).
+        """
+        return _MAX_LANE_WIDTH
+
+    @staticmethod
+    def _pred_of(arr):
+        """Coerce a lane condition to a predicate array (int64: already
+        a numpy bool array — identity)."""
+        return arr
+
+    def _as_index(self, fn):
+        """Wrap an index closure for fancy-indexing use (int64: as-is)."""
+        return fn
+
+    #: dtype 0/1 results of comparisons/reductions are cast to —
+    #: ``object`` for spill so bool-element arrays keep python-int
+    #: semantics under the arbitrary-width masks downstream
+    BOOL_DTYPE = _I64
 
     def _new_image(self) -> BatchDesign:
         return BatchDesign()
@@ -273,6 +500,9 @@ class _BatchCompiler(_Compiler):
         bd.sched_nodes = tuple(bd.nodes[i] for i in bd.topo)
         bd.nodes_pred = tuple(self._pred_nodes)
         bd.comb_latched = self._latched
+        bd.representation = self.REPRESENTATION
+        bd.lane_dtype = self.LANE_DTYPE
+        bd.shift_cap = self.SHIFT_CAP
         return bd
 
     def _lvalue_width(self, target: ast.Expr) -> int:
@@ -305,6 +535,10 @@ class _BatchCompiler(_Compiler):
             return signed_ext
         return lambda st, mems, o, mo, _f=fn: _f(st, mems, o, mo) & ext_mask
 
+    def _emit_const(self, value: int):
+        """Closure for a folded constant (int64: a broadcasting int)."""
+        return lambda st, mems, o, mo, _v=value: _v
+
     def _compile_eval(self, expr: ast.Expr, width: int, ov: bool):
         self._check_width(width)
         if self._is_static(expr):
@@ -312,11 +546,12 @@ class _BatchCompiler(_Compiler):
                 value = _ev._eval(expr, self._static, width)
             except SimulationError as exc:
                 raise UncompilableDesign(str(exc)) from None
-            if value.bit_length() > _MAX_LANE_WIDTH:
+            if (self.WIDTH_BUDGET is not None
+                    and value.bit_length() > self.WIDTH_BUDGET):
                 raise UnbatchableDesign(
                     f"constant {value} exceeds the int64 lane budget"
                 )
-            return lambda st, mems, o, mo, _v=value: _v
+            return self._emit_const(value)
 
         if isinstance(expr, ast.Identifier):
             name = expr.name
@@ -382,8 +617,9 @@ class _BatchCompiler(_Compiler):
             self._check_width(msb - lsb + 1)
             sel_mask = (1 << (msb - lsb + 1)) - 1
             # Lane values are < 2**63, so shifts past 62 read as 0 either
-            # way; the clamp only keeps numpy's shift count in range.
-            shift = min(lsb, _MAX_LANE_WIDTH)
+            # way; the clamp only keeps numpy's shift count in range
+            # (spill raises the cap — python-int lanes shift exactly).
+            shift = min(lsb, self.SHIFT_CAP)
             raw = self._emit_read_raw(name, ov)
             return lambda st, mems, o, mo: (
                 raw(st, mems, o, mo) >> shift
@@ -396,6 +632,7 @@ class _BatchCompiler(_Compiler):
             sel_mask = (1 << sel_width) - 1
             ascending = expr.ascending
             raw = self._emit_read_raw(name, ov)
+            cap = self.SHIFT_CAP
 
             def indexed(st, mems, o, mo):
                 lo = start(st, mems, o, mo)
@@ -403,7 +640,7 @@ class _BatchCompiler(_Compiler):
                     lo = lo - sel_width + 1
                 lo = np.maximum(lo, 0)
                 return np.right_shift(
-                    raw(st, mems, o, mo), np.minimum(lo, _MAX_LANE_WIDTH)
+                    raw(st, mems, o, mo), np.minimum(lo, cap)
                 ) & sel_mask
 
             return indexed
@@ -413,6 +650,7 @@ class _BatchCompiler(_Compiler):
 
     def _compile_unary(self, expr: ast.Unary, width: int, ov: bool):
         op = expr.op
+        bdt = self.BOOL_DTYPE
         if op in ("&", "~&", "|", "~|", "^", "~^"):
             operand_width = self._self_width(expr.operand)
             self._check_width(operand_width)
@@ -422,17 +660,20 @@ class _BatchCompiler(_Compiler):
                 full = (1 << operand_width) - 1
                 return lambda st, mems, o, mo: np.equal(
                     fn(st, mems, o, mo), full
-                ).astype(_I64) ^ invert
+                ).astype(bdt) ^ invert
             if op in ("|", "~|"):
                 return lambda st, mems, o, mo: np.not_equal(
                     fn(st, mems, o, mo), 0
-                ).astype(_I64) ^ invert
-            return lambda st, mems, o, mo: _parity(fn(st, mems, o, mo)) ^ invert
+                ).astype(bdt) ^ invert
+            folds = _parity_folds(operand_width)
+            return lambda st, mems, o, mo: _parity(
+                fn(st, mems, o, mo), folds
+            ) ^ invert
         if op == "!":
             fn = self._compile_expr(expr.operand, 0, ov)
             return lambda st, mems, o, mo: np.equal(
                 fn(st, mems, o, mo), 0
-            ).astype(_I64)
+            ).astype(bdt)
         fn = self._compile_operand(expr.operand, width, ov)
         m = (1 << width) - 1 if width > 0 else 0
         if op == "~":
@@ -445,6 +686,7 @@ class _BatchCompiler(_Compiler):
 
     def _compile_binary(self, expr: ast.Binary, width: int, ov: bool):
         op = expr.op
+        bdt = self.BOOL_DTYPE
         if op in ("&&", "||"):
             lhs = self._compile_expr(expr.lhs, 0, ov)
             rhs = self._compile_expr(expr.rhs, 0, ov)
@@ -452,11 +694,11 @@ class _BatchCompiler(_Compiler):
                 return lambda st, mems, o, mo: np.logical_and(
                     np.not_equal(lhs(st, mems, o, mo), 0),
                     np.not_equal(rhs(st, mems, o, mo), 0),
-                ).astype(_I64)
+                ).astype(bdt)
             return lambda st, mems, o, mo: np.logical_or(
                 np.not_equal(lhs(st, mems, o, mo), 0),
                 np.not_equal(rhs(st, mems, o, mo), 0),
-            ).astype(_I64)
+            ).astype(bdt)
         if op in ("==", "!=", "===", "!==", "<", "<=", ">", ">="):
             cmp_width = max(
                 self._self_width(expr.lhs), self._self_width(expr.rhs)
@@ -475,12 +717,12 @@ class _BatchCompiler(_Compiler):
                 def compare(st, mems, o, mo):
                     a = _signed(lhs(st, mems, o, mo), cmp_width)
                     b = _signed(rhs(st, mems, o, mo), cmp_width)
-                    return ufunc(a, b).astype(_I64)
+                    return ufunc(a, b).astype(bdt)
             else:
                 def compare(st, mems, o, mo):
                     return ufunc(
                         lhs(st, mems, o, mo), rhs(st, mems, o, mo)
-                    ).astype(_I64)
+                    ).astype(bdt)
             return compare
         if op in ("<<", ">>", "<<<", ">>>"):
             lhs = self._compile_operand(expr.lhs, width, ov)
@@ -489,10 +731,14 @@ class _BatchCompiler(_Compiler):
             # Lane values are nonnegative and < 2**63, so clamping the
             # shift count to 63 preserves the scalar backend's semantics:
             # a shift of >= width bits masks/reads to zero either way.
+            # Spill raises the left-shift clamp to the scalar backend's
+            # own width+64 and leaves right shifts effectively unclamped.
+            shl_cap = self._shl_clamp(width)
+            shr_cap = self.SHIFT_CAP
             if op in ("<<", "<<<"):
                 def shl(st, mems, o, mo):
                     amount = np.minimum(
-                        amount_fn(st, mems, o, mo), _MAX_LANE_WIDTH
+                        amount_fn(st, mems, o, mo), shl_cap
                     )
                     return np.left_shift(lhs(st, mems, o, mo), amount) & m
 
@@ -500,7 +746,7 @@ class _BatchCompiler(_Compiler):
             if op == ">>>" and self._is_signed(expr.lhs):
                 def sra(st, mems, o, mo):
                     amount = np.minimum(
-                        amount_fn(st, mems, o, mo), _MAX_LANE_WIDTH
+                        amount_fn(st, mems, o, mo), shr_cap
                     )
                     v = _signed(lhs(st, mems, o, mo) & m, width)
                     return np.right_shift(v, amount) & m
@@ -509,7 +755,7 @@ class _BatchCompiler(_Compiler):
 
             def shr(st, mems, o, mo):
                 amount = np.minimum(
-                    amount_fn(st, mems, o, mo), _MAX_LANE_WIDTH
+                    amount_fn(st, mems, o, mo), shr_cap
                 )
                 return np.right_shift(lhs(st, mems, o, mo), amount)
 
@@ -589,6 +835,7 @@ class _BatchCompiler(_Compiler):
         index_fn = self._compile_expr(expr.index, 0, ov)
         mem_slot = self.mem_of.get(name)
         if mem_slot is not None:
+            index_fn = self._as_index(index_fn)
             base = self.mem_bases[mem_slot]
             depth = self.mem_depths[mem_slot]
             lane_ix = self.lane_ix
@@ -632,11 +879,12 @@ class _BatchCompiler(_Compiler):
             return read_mem
         raw = self._emit_read_raw(name, ov)
         sig_width = self.widths[self._slot(name)]
+        cap = self.SHIFT_CAP
 
         def read_bit(st, mems, o, mo):
             idx = index_fn(st, mems, o, mo)
             v = np.right_shift(
-                raw(st, mems, o, mo), np.minimum(idx, _MAX_LANE_WIDTH)
+                raw(st, mems, o, mo), np.minimum(idx, cap)
             ) & 1
             return np.where(idx < sig_width, v, 0)
 
@@ -652,11 +900,15 @@ class _BatchCompiler(_Compiler):
             if len(expr.args) != 1:
                 raise UncompilableDesign("$clog2 takes exactly one argument")
             arg = self._compile_expr(expr.args[0], 0, ov)
+            folds = _bit_length_folds(
+                max(self._self_width(expr.args[0]), 1)
+            )
 
             def clog2(st, mems, o, mo):
                 value = arg(st, mems, o, mo)
                 return np.where(
-                    value <= 1, 0, _bit_length(np.maximum(value - 1, 1))
+                    value <= 1, 0,
+                    _bit_length(np.maximum(value - 1, 1), folds),
                 )
 
             return clog2
@@ -715,6 +967,7 @@ class _BatchCompiler(_Compiler):
             index_fn = self._compile_expr(target.index, 0, True)
             mem_slot = self.mem_of.get(name)
             if mem_slot is not None:
+                index_fn = self._as_index(index_fn)
                 base = self.mem_bases[mem_slot]
                 depth = self.mem_depths[mem_slot]
                 mem_mask = (1 << self.mem_widths[mem_slot]) - 1
@@ -791,6 +1044,7 @@ class _BatchCompiler(_Compiler):
                           runtime_lo):
         value_mask = (1 << width) - 1
         sig_mask = (1 << sig_width) - 1
+        limit = self._dynamic_write_limit(sig_width)
 
         if not runtime_lo:
             if lo == 0 and width >= sig_width:
@@ -807,12 +1061,12 @@ class _BatchCompiler(_Compiler):
                     nba.append((False, slot, 0, width, value, pred))
 
                 return nba_full
-            if lo + width > _MAX_LANE_WIDTH:
+            if lo + width > limit:
                 # The scalar backends keep such out-of-range bits in raw
-                # state; int64 lanes cannot.
+                # state; bounded lanes cannot.
                 raise UnbatchableDesign(
                     f"static field write at bits [{lo + width - 1}:{lo}] "
-                    "exceeds the int64 lane budget"
+                    "exceeds the lane budget"
                 )
             field_mask = value_mask << lo
             keep_mask = ~field_mask
@@ -836,13 +1090,13 @@ class _BatchCompiler(_Compiler):
         lo_fn = lo
 
         def guard(at, pred):
-            bad = pred & (at + width > _MAX_LANE_WIDTH)
+            bad = pred & (at + width > limit)
             if width >= sig_width:
                 bad = bad & np.not_equal(at, 0)
             if np.any(bad):
                 raise BatchDivergence(
-                    "dynamic field write above the int64 lane budget "
-                    f"(bit {_MAX_LANE_WIDTH}+)"
+                    "dynamic field write above the lane budget "
+                    f"(bit {limit}+)"
                 )
 
         if blocking:
@@ -852,7 +1106,7 @@ class _BatchCompiler(_Compiler):
                 cur = o.get(slot)
                 if cur is None:
                     cur = st[slot]
-                at_c = np.minimum(at, _MAX_LANE_WIDTH)
+                at_c = np.minimum(at, limit)
                 field_mask = value_mask << at_c
                 merged = (cur & ~field_mask) | (
                     ((value & value_mask) << at_c) & field_mask
@@ -957,6 +1211,7 @@ class _BatchCompiler(_Compiler):
         value_mask = (1 << width) - 1
         sig_mask = (1 << sig_width) - 1
         lanes_of = self._lanes_of
+        limit = self._dynamic_write_limit(sig_width)
 
         if not runtime_lo:
             if lo == 0 and width >= sig_width:
@@ -964,10 +1219,10 @@ class _BatchCompiler(_Compiler):
                     st[slot] = lanes_of(value & sig_mask)
 
                 return write_full
-            if lo + width > _MAX_LANE_WIDTH:
+            if lo + width > limit:
                 raise UnbatchableDesign(
                     f"static field write at bits [{lo + width - 1}:{lo}] "
-                    "exceeds the int64 lane budget"
+                    "exceeds the lane budget"
                 )
             field_mask = value_mask << lo
             keep_mask = ~field_mask
@@ -984,16 +1239,16 @@ class _BatchCompiler(_Compiler):
 
         def write_dynamic(st, mems, value):
             at = lo_fn(st, mems, None, None)
-            bad = at + width > _MAX_LANE_WIDTH
+            bad = at + width > limit
             if width >= sig_width:
                 bad = bad & np.not_equal(at, 0)
             if np.any(bad):
                 raise BatchDivergence(
-                    "dynamic field write above the int64 lane budget "
-                    f"(bit {_MAX_LANE_WIDTH}+)"
+                    "dynamic field write above the lane budget "
+                    f"(bit {limit}+)"
                 )
             full = st[slot]
-            at_c = np.minimum(at, _MAX_LANE_WIDTH)
+            at_c = np.minimum(at, limit)
             field_mask = value_mask << at_c
             merged = (full & ~field_mask) | (
                 ((value & value_mask) << at_c) & field_mask
@@ -1037,9 +1292,10 @@ class _BatchCompiler(_Compiler):
             cond = self._compile_expr(stmt.cond, 0, True)
             then = self._compile_stmt(stmt.then)
             other = self._compile_stmt(stmt.other) if stmt.other else None
+            pof = self._pred_of
 
             def branch(st, mems, o, mo, nba, pred):
-                taken = np.not_equal(cond(st, mems, o, mo), 0)
+                taken = pof(np.not_equal(cond(st, mems, o, mo), 0))
                 if then is not None:
                     p = pred & taken
                     if p.any():
@@ -1057,11 +1313,12 @@ class _BatchCompiler(_Compiler):
             cond = self._compile_expr(stmt.cond, 0, True)
             step = self._compile_stmt(stmt.step)
             body = self._compile_stmt(stmt.body)
+            pof = self._pred_of
 
             def loop(st, mems, o, mo, nba, pred):
                 if init is not None:
                     init(st, mems, o, mo, nba, pred)
-                active = pred & np.not_equal(cond(st, mems, o, mo), 0)
+                active = pred & pof(np.not_equal(cond(st, mems, o, mo), 0))
                 iterations = 0
                 while active.any():
                     if body is not None:
@@ -1073,7 +1330,9 @@ class _BatchCompiler(_Compiler):
                         raise SimulationError(
                             f"for-loop exceeded {_MAX_LOOP_ITERS} iterations"
                         )
-                    active = active & np.not_equal(cond(st, mems, o, mo), 0)
+                    active = active & pof(
+                        np.not_equal(cond(st, mems, o, mo), 0)
+                    )
 
             return loop
         if isinstance(stmt, (ast.NullStmt, ast.SystemTaskCall)):
@@ -1105,14 +1364,15 @@ class _BatchCompiler(_Compiler):
                     (self._compile_eval(label, width, True), ~wildcard, body)
                 )
         arms_t = tuple(arms)
+        pof = self._pred_of
 
         def case(st, mems, o, mo, nba, pred):
             subject = subject_fn(st, mems, o, mo)
             remaining = pred
             for label_fn, care, body in arms_t:
-                hit = remaining & np.equal(
+                hit = remaining & pof(np.equal(
                     subject & care, label_fn(st, mems, o, mo) & care
-                )
+                ))
                 if hit.any():
                     if body is not None:
                         body(st, mems, o, mo, nba, hit)
@@ -1139,6 +1399,7 @@ class _BatchCompiler(_Compiler):
         pred_writer = self._compile_proc_write(assign.target, blocking=True)
         widths = self.widths
         lane_ix = self.lane_ix
+        shift_cap = self.SHIFT_CAP
 
         def run_pred(st, mems, pred):
             overlay: Dict[int, np.ndarray] = {}
@@ -1148,7 +1409,8 @@ class _BatchCompiler(_Compiler):
                 value_fn(st, mems, None, None), pred,
             )
             _commit_lane_overlays(
-                st, mems, overlay, mem_overlay, None, widths, lane_ix
+                st, mems, overlay, mem_overlay, None, widths, lane_ix,
+                shift_cap,
             )
 
         self._pred_nodes.append(run_pred)
@@ -1172,6 +1434,7 @@ class _BatchCompiler(_Compiler):
         ones = self.ones
         widths = self.widths
         lane_ix = self.lane_ix
+        shift_cap = self.SHIFT_CAP
 
         def run_pred(st, mems, pred):
             overlay: Dict[int, np.ndarray] = {}
@@ -1179,7 +1442,8 @@ class _BatchCompiler(_Compiler):
             nba: List[tuple] = []
             body(st, mems, overlay, mem_overlay, nba, pred)
             _commit_lane_overlays(
-                st, mems, overlay, mem_overlay, nba, widths, lane_ix
+                st, mems, overlay, mem_overlay, nba, widths, lane_ix,
+                shift_cap,
             )
 
         def run(st, mems):
@@ -1204,8 +1468,86 @@ class _BatchCompiler(_Compiler):
         return run, reads, writes
 
 
+class _SpillCompiler(_BatchCompiler):
+    """Multi-word spill lowering: python-int object lanes, no width cap.
+
+    Re-emits the exact int64 lowering over ``object``-dtype lane arrays
+    whose elements are python ints, so >63-bit signals, memories, and
+    constants run lane-parallel instead of falling back to the scalar
+    loop.  Semantics mirror the *scalar* compiled backend (the verdict
+    reference): the left-shift clamp is the scalar ``width + 64``, the
+    power clamp stays at 64, and dynamic field writes are guarded at
+    ``sig_width + 64`` — beyond that the scalar backends keep raw
+    out-of-range bits that any bounded lane encoding would fold, so the
+    guard raises :class:`BatchDivergence` and the episode replays on the
+    scalar backend, exactly like the int64 guard at bit 63.
+
+    numpy dispatches ufuncs on object arrays to the python-int dunders,
+    which keeps every op exact at any width; the overrides below only
+    (a) keep *values* in object arrays (constants fold to object arrays
+    so ``np.where`` never re-infers an int64 dtype that would overflow
+    under a wide mask), (b) coerce *predicates* to numpy bool arrays and
+    *memory indices* to int64 arrays, because boolean/fancy indexing
+    rejects object dtypes.
+    """
+
+    REPRESENTATION = "spill"
+    LANE_DTYPE = object
+    WIDTH_BUDGET = None
+    #: right shifts of python ints are exact and cheap at any count;
+    #: the cap only bounds pathological dynamic counts
+    SHIFT_CAP = 1 << 20
+    BOOL_DTYPE = object
+
+    def _shl_clamp(self, width: int) -> int:
+        # The scalar backend's clamp: exact, because a count of
+        # width + 64 shifts every representable bit past the mask.
+        return max(width, 1) + 64
+
+    def _dynamic_write_limit(self, sig_width: int) -> int:
+        return sig_width + 64
+
+    @staticmethod
+    def _pred_of(arr):
+        return arr if arr.dtype == np.bool_ else arr.astype(bool)
+
+    def _as_index(self, fn):
+        def as_index(st, mems, o, mo, _f=fn):
+            idx = _f(st, mems, o, mo)
+            if isinstance(idx, np.ndarray):
+                if idx.dtype == object:
+                    # python-int lanes → bounded int64 indices (memory
+                    # depths sit far below 2**62, so the clamp cannot
+                    # alias an in-range element)
+                    idx = np.minimum(idx, 1 << 62).astype(np.int64)
+                return idx
+            return int(idx)
+
+        return as_index
+
+    def _emit_const(self, value: int):
+        # Constants fold to read-only object arrays: an np.where over a
+        # python-int scalar would re-infer an int64 result dtype (or
+        # overflow outright for >63-bit constants).
+        const = np.empty(self.n_lanes, dtype=object)
+        const[:] = value
+        const.setflags(write=False)
+        return lambda st, mems, o, mo, _v=const: _v
+
+    def _lanes_of(self, value):
+        if isinstance(value, np.ndarray) and value.shape == (self.n_lanes,):
+            if value.dtype == object:
+                return value
+            value = value.tolist()  # native python ints: stay mask-exact
+        elif isinstance(value, (np.integer, np.bool_)):
+            value = int(value)
+        arr = np.empty(self.n_lanes, dtype=object)
+        arr[:] = value
+        return arr
+
+
 def _commit_lane_overlays(st, mems, overlay, mem_overlay, nba, widths,
-                          lane_ix) -> None:
+                          lane_ix, shift_cap=_MAX_LANE_WIDTH) -> None:
     """Commit one blocking-overlay epoch (plus optional NBA list).
 
     The single definition of how overlays land in lane state — shared by
@@ -1217,16 +1559,19 @@ def _commit_lane_overlays(st, mems, overlay, mem_overlay, nba, widths,
     for mem_slot, column in mem_overlay.items():
         mems[mem_slot] = column
     if nba:
-        _commit_nba_lanes(st, mems, nba, widths, lane_ix)
+        _commit_nba_lanes(st, mems, nba, widths, lane_ix, shift_cap)
 
 
-def _commit_nba_lanes(st, mems, updates, widths, lane_ix) -> None:
+def _commit_nba_lanes(st, mems, updates, widths, lane_ix,
+                      shift_cap=_MAX_LANE_WIDTH) -> None:
     """Commit nonblocking updates lane-parallel, in append order.
 
     Updates are ``(is_mem, slot, lo, width, value, pred)``; ``lo`` and
     ``value`` may be per-lane arrays or python ints, and ``pred`` masks
     the lanes the write applies to.  Mirrors the scalar backend's
-    ``_commit_nba`` update-for-update.
+    ``_commit_nba`` update-for-update.  ``shift_cap`` bounds the merge
+    shift count (the int64 budget, or the far larger spill cap — the
+    emission-time guards already rejected anything beyond it).
     """
     for is_mem, slot, lo, width, value, pred in updates:
         if is_mem:
@@ -1250,7 +1595,7 @@ def _commit_nba_lanes(st, mems, updates, widths, lane_ix) -> None:
             st[slot] = np.where(pred, value & sig_mask, keep)
             continue
         value_mask = (1 << width) - 1
-        at_c = np.minimum(lo, _MAX_LANE_WIDTH)
+        at_c = np.minimum(lo, shift_cap)
         field_mask = value_mask << at_c
         merged = (keep & ~field_mask) | (
             ((value & value_mask) << at_c) & field_mask
@@ -1278,16 +1623,24 @@ class BatchSimulator(Simulator):
     """
 
     def __init__(self, design: Design, max_settle_rounds: Optional[int] = None,
-                 backend: Optional[str] = None, n_lanes: int = 1):
-        bd = batch_design(design, n_lanes)
+                 backend: Optional[str] = None, n_lanes: int = 1,
+                 representation: Optional[str] = None):
+        bd = batch_design(design, n_lanes, representation)
+        if bd.representation == "bitslice":
+            # A plain lane simulator cannot run bit planes; use the int64
+            # image embedded in the bitslice artifact instead.
+            bd = bd.base
         self.design = design
         self.bdesign = bd
         self.n_lanes = n_lanes
+        dtype = bd.lane_dtype
+        # np.zeros fills object arrays with python-int zeros, which is
+        # exactly what the spill lowering expects lane elements to be.
         self.st: List[np.ndarray] = [
-            np.zeros(n_lanes, dtype=_I64) for _ in range(bd.n_signals)
+            np.zeros(n_lanes, dtype=dtype) for _ in range(bd.n_signals)
         ]
         self.mem_data: List[np.ndarray] = [
-            np.zeros((depth, n_lanes), dtype=_I64) for depth in bd.mem_depths
+            np.zeros((depth, n_lanes), dtype=dtype) for depth in bd.mem_depths
         ]
         self._max_rounds = max_settle_rounds or (2 * bd.comb_count + 16)
         ones = bd.ones
@@ -1299,7 +1652,7 @@ class BatchSimulator(Simulator):
             body(self.st, self.mem_data, overlay, mem_overlay, nba, ones)
             _commit_lane_overlays(
                 self.st, self.mem_data, overlay, mem_overlay, nba,
-                bd.widths, bd.lane_ix,
+                bd.widths, bd.lane_ix, bd.shift_cap,
             )
         self.settle()
 
@@ -1337,7 +1690,7 @@ class BatchSimulator(Simulator):
         return self._scalarize(self.st[slot])
 
     def peek_lanes(self, name: str) -> np.ndarray:
-        """Per-lane values of ``name`` as a fresh int64 array."""
+        """Per-lane values of ``name`` as a fresh lane array."""
         try:
             slot = self.bdesign.slot_of[name]
         except KeyError:
@@ -1359,6 +1712,19 @@ class BatchSimulator(Simulator):
         mask = self.bdesign.masks[slot]
         if isinstance(value, int):
             return value & mask  # python-int mask first: may exceed int64
+        if self.bdesign.lane_dtype is object:
+            lanes = np.asarray(value, dtype=object)
+            if lanes.ndim == 0:
+                return int(lanes.item()) & mask
+            if lanes.shape != (self.n_lanes,):
+                raise ValueError(
+                    f"per-lane poke value has shape {lanes.shape}; expected "
+                    f"a scalar or shape ({self.n_lanes},) for "
+                    f"{self.n_lanes} lanes"
+                )
+            out = np.empty(self.n_lanes, dtype=object)
+            out[:] = [int(v) & mask for v in lanes]
+            return out
         lanes = np.asarray(value, dtype=_I64)
         if lanes.ndim != 0 and lanes.shape != (self.n_lanes,):
             # Surface shape bugs here, with the lane contract named,
@@ -1377,7 +1743,7 @@ class BatchSimulator(Simulator):
 
     def _poke_apply(self, name: str, value) -> None:
         slot = self.bdesign.slot_of[name]
-        lanes = np.empty(self.n_lanes, dtype=_I64)
+        lanes = np.empty(self.n_lanes, dtype=self.bdesign.lane_dtype)
         lanes[:] = self._masked(slot, value)
         self.st[slot] = lanes
 
@@ -1385,9 +1751,19 @@ class BatchSimulator(Simulator):
         """Per-lane poke (alias of :meth:`poke` with an array value)."""
         self.poke(name, values)
 
-    def _trigger_snapshot(self) -> List[np.ndarray]:
+    def _trigger_bits(self) -> List[np.ndarray]:
+        # Trigger bits normalize to int64 even for object lanes: edge
+        # detection compares and boolean-combines these arrays, and the
+        # resulting lane predicates must be numpy-bool (object-dtype
+        # "bools" cannot drive boolean indexing in the compiled bodies).
         st = self.st
-        return [st[s] & 1 for s in self.bdesign.trigger_slots]
+        bits = [st[s] & 1 for s in self.bdesign.trigger_slots]
+        if self.bdesign.lane_dtype is object:
+            bits = [b.astype(_I64) for b in bits]
+        return bits
+
+    def _trigger_snapshot(self) -> List[np.ndarray]:
+        return self._trigger_bits()
 
     # -- settle / edges ------------------------------------------------------
 
@@ -1399,12 +1775,9 @@ class BatchSimulator(Simulator):
             run(st, mems)
 
     def _fire_edges(self, snapshot: List[np.ndarray]) -> None:
-        bd = self.bdesign
-        st = self.st
-        trigger_slots = bd.trigger_slots
-        seq = bd.seq
+        seq = self.bdesign.seq
         for _ in range(self._max_rounds):
-            current = [st[s] & 1 for s in trigger_slots]
+            current = self._trigger_bits()
             fired = []
             for triggers, body in seq:
                 lanes = None
@@ -1436,10 +1809,13 @@ class BatchSimulator(Simulator):
             # Blocking writes commit with the block; nonblocking updates
             # commit once, after every triggered block ran.
             _commit_lane_overlays(
-                st, mems, overlay, mem_overlay, None, bd.widths, bd.lane_ix
+                st, mems, overlay, mem_overlay, None, bd.widths, bd.lane_ix,
+                bd.shift_cap,
             )
         if pending:
-            _commit_nba_lanes(st, mems, pending, bd.widths, bd.lane_ix)
+            _commit_nba_lanes(
+                st, mems, pending, bd.widths, bd.lane_ix, bd.shift_cap
+            )
 
 
 # ---------------------------------------------------------------------------
@@ -1462,13 +1838,18 @@ def lockstep_shape_digest(design: Design) -> str:
     Raises :class:`~repro.sim.compile.UncompilableDesign` (or the
     narrower :class:`UnbatchableDesign`) when the design cannot carry a
     lane at all — not statically lowerable, not levelizable, or wider
-    than the int64 lane budget — which routes the candidate to the
-    scalar backends under the usual fallback contract.  The digest (or
-    the negative outcome) memoizes on the design object — it is a plain
-    string derived from structure alone, so unlike the closure caches it
-    survives pickling to pool workers.
+    than the int64 lane budget while the representation is pinned to
+    ``int64`` — which routes the candidate to the scalar backends under
+    the usual fallback contract.  The digest (or the negative outcome)
+    memoizes on the design object per representation pin — it is a
+    plain string derived from structure alone, so unlike the closure
+    caches it survives pickling to pool workers.
     """
-    cached = getattr(design, "_lockstep_digest", None)
+    pin = configured_lane_representation()
+    cache = getattr(design, "_lockstep_digest", None)
+    if not isinstance(cache, dict):
+        cache = design._lockstep_digest = {}
+    cached = cache.get(pin)
     if cached is not None:
         if cached is False:
             raise UnbatchableDesign("design is not lane-parallelizable")
@@ -1476,10 +1857,41 @@ def lockstep_shape_digest(design: Design) -> str:
     try:
         digest = _lockstep_shape_digest(design)
     except UnbatchableDesign:
-        design._lockstep_digest = False
+        cache[pin] = False
         raise
-    design._lockstep_digest = digest
+    cache[pin] = digest
     return digest
+
+
+def _group_representation(design: Design) -> str:
+    """Lane representation a lockstep group of this shape runs under.
+
+    Lockstep lanes carry *different candidate designs*, so the
+    per-design bitslice census does not apply: groups run on plain
+    ``int64`` lanes, or on the multi-word ``spill`` representation when
+    any signal or memory is wider than the int64 budget.  Pinning the
+    representation to ``int64`` (:func:`configure_lane_representation`
+    or ``REPRO_SIM_LANES``) restores the historical wide-design
+    fallback to the scalar loop; pinning ``spill`` forces every group
+    onto object lanes.
+    """
+    pinned = configured_lane_representation()
+    if pinned == "spill":
+        return "spill"
+    wide = any(
+        sig.width > _MAX_LANE_WIDTH for sig in design.signals.values()
+    ) or any(
+        memory.width > _MAX_LANE_WIDTH
+        for memory in design.memories.values()
+    )
+    if not wide:
+        return "int64"
+    if pinned == "int64":
+        raise UnbatchableDesign(
+            f"width exceeds the {_MAX_LANE_WIDTH}-bit int64 lane budget "
+            "(lane representation pinned to int64)"
+        )
+    return "spill"
 
 
 def _lockstep_shape_digest(design: Design) -> str:
@@ -1489,19 +1901,8 @@ def _lockstep_shape_digest(design: Design) -> str:
             "combinational region is not levelizable (scalar fallback "
             "applies)"
         )
-    for sig in design.signals.values():
-        if sig.width > _MAX_LANE_WIDTH:
-            raise UnbatchableDesign(
-                f"width {sig.width} exceeds the {_MAX_LANE_WIDTH}-bit "
-                "int64 lane budget"
-            )
-    for memory in design.memories.values():
-        if memory.width > _MAX_LANE_WIDTH:
-            raise UnbatchableDesign(
-                f"width {memory.width} exceeds the {_MAX_LANE_WIDTH}-bit "
-                "int64 lane budget"
-            )
     key = (
+        _group_representation(design),
         tuple(
             (name, sig.width, bool(sig.signed), sig.direction)
             for name, sig in design.signals.items()
@@ -1590,6 +1991,9 @@ def build_lockstep_group(designs: Sequence[Design]) -> LockstepGroup:
         raise UnbatchableDesign(
             "lockstep group members have mismatched schedule shapes"
         )
+    # Digest equality covers the signal/memory width tables, so one
+    # member's representation is the whole group's.
+    representation = _group_representation(designs[0])
 
     node_fp_lists = [_comb_node_fingerprints(design) for design in designs]
     seq_fp_lists = [
@@ -1620,7 +2024,7 @@ def build_lockstep_group(designs: Sequence[Design]) -> LockstepGroup:
     for lane, design in enumerate(designs):
         bd = shared.get(design_fps[lane])
         if bd is None:
-            bd = batch_design(design, n_lanes)
+            bd = batch_design(design, n_lanes, representation)
             shared[design_fps[lane]] = bd
         bds.append(bd)
     rep = bds[0]
@@ -1734,11 +2138,13 @@ class LockstepSimulator(BatchSimulator):
         self.active: np.ndarray = np.ones(n_lanes, dtype=bool)
         self._all_active = True
         self._any_active = True
+        dtype = rep.lane_dtype
         self.st = [
-            np.zeros(n_lanes, dtype=_I64) for _ in range(rep.n_signals)
+            np.zeros(n_lanes, dtype=dtype) for _ in range(rep.n_signals)
         ]
         self.mem_data = [
-            np.zeros((depth, n_lanes), dtype=_I64) for depth in rep.mem_depths
+            np.zeros((depth, n_lanes), dtype=dtype)
+            for depth in rep.mem_depths
         ]
         self._max_rounds = 2 * rep.comb_count + 16
         #: plain-int settle accounting, read by the lockstep harness and
@@ -1762,7 +2168,7 @@ class LockstepSimulator(BatchSimulator):
                 body(self.st, self.mem_data, overlay, mem_overlay, nba, mask)
             _commit_lane_overlays(
                 self.st, self.mem_data, overlay, mem_overlay, nba,
-                rep.widths, rep.lane_ix,
+                rep.widths, rep.lane_ix, rep.shift_cap,
             )
         self.settle()
 
@@ -1834,10 +2240,8 @@ class LockstepSimulator(BatchSimulator):
         if not self._any_active:
             return  # every candidate is decided; nothing left to observe
         group = self.group
-        st = self.st
-        trigger_slots = self.bdesign.trigger_slots
         for _ in range(self._max_rounds):
-            current = [st[s] & 1 for s in trigger_slots]
+            current = self._trigger_bits()
             fired: List[tuple] = []
             fired_writes: set = set()
             for j, (triggers, block_variants) in enumerate(group.seq_plan):

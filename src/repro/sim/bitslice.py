@@ -1,0 +1,855 @@
+"""Bit-sliced lane backend: one python int packs every lane's bit.
+
+The int64 lane backend (:mod:`repro.sim.batch`) spends a full masked
+numpy op per node even when the node is a 1-bit gate — and the
+control-heavy ``vgen`` families are dominated by exactly such nets.
+This module transposes the storage for those designs: instead of one
+int64 *per lane*, every **bit position** of a signal stores a single
+arbitrary-precision python int whose bit ``l`` is lane ``l``'s value (a
+*bit plane*).  A 1-bit AND over 256 lanes is then one ``a & b`` on two
+python ints; adders and comparators over the census-bounded widths
+(<= 16 bits) lower to short ripple chains of plane ops.
+
+The lowering is deliberately partial and *safe by construction*:
+
+* only **continuous assigns to whole signals** whose expressions fall in
+  the supported subset (bitwise/logical ops, equality and ordering
+  compares, ripple add/sub/negate, static shifts/selects/concats,
+  ternary muxes, reductions) become plane kernels;
+* every other node — always-blocks, dynamic indexing, multiply/divide,
+  system calls — **bridges** to the int64 image compiled alongside
+  (:attr:`BitsliceDesign.base` embeds it), with plane<->int64 conversion
+  at the boundary tracked by two lazy staleness sets, so a design that
+  is 90% control and 10% datapath runs 90% on planes without any
+  per-node semantics re-derivation for the hard 10%;
+* a design where *nothing* plane-lowers simply returns the int64 image
+  (counted as ``bitslice.fallback_int64``) — bitslice is an
+  accelerator, never a correctness dependency.
+
+Selection is by the width census in
+:func:`repro.sim.batch.lane_representation`; construction goes through
+:func:`repro.sim.batch.make_batch_simulator`.  Lane-for-lane verdict
+identity with the scalar backends is enforced by the differential
+parametrizations in ``tests/test_sim_batch.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro import obs
+from repro.errors import SimulationError
+from repro.verilog import ast
+from repro.sim import eval as _ev
+from repro.sim import batch as _batch
+from repro.sim.compile import UncompilableDesign, _Compiler
+from repro.sim.elaborate import Design
+
+__all__ = [
+    "BitsliceDesign",
+    "BitsliceSimulator",
+    "compile_bitslice",
+]
+
+_I64 = np.int64
+
+
+# ---------------------------------------------------------------------------
+# plane <-> lane-array conversion
+# ---------------------------------------------------------------------------
+
+
+def _pack_lanes(values: np.ndarray, width: int, n_lanes: int) -> List[int]:
+    """Transpose an int64 lane array into ``width`` bit-plane ints."""
+    planes: List[int] = []
+    for b in range(max(width, 1)):
+        bits = ((values >> b) & 1).astype(np.uint8)
+        planes.append(
+            int.from_bytes(
+                np.packbits(bits, bitorder="little").tobytes(), "little"
+            )
+        )
+    return planes
+
+
+def _unpack_planes(planes: List[int], n_lanes: int) -> np.ndarray:
+    """Transpose bit-plane ints back into an int64 lane array."""
+    out = np.zeros(n_lanes, dtype=_I64)
+    nbytes = (n_lanes + 7) // 8
+    for b, plane in enumerate(planes):
+        if not plane:
+            continue
+        bits = np.unpackbits(
+            np.frombuffer(plane.to_bytes(nbytes, "little"), dtype=np.uint8),
+            bitorder="little", count=n_lanes,
+        )
+        out |= bits.astype(_I64) << b
+    return out
+
+
+def _mask_lanes(mask: int, n_lanes: int) -> np.ndarray:
+    """A lane-mask int as a numpy bool predicate array."""
+    nbytes = (n_lanes + 7) // 8
+    bits = np.unpackbits(
+        np.frombuffer(mask.to_bytes(nbytes, "little"), dtype=np.uint8),
+        bitorder="little", count=n_lanes,
+    )
+    return bits.astype(bool)
+
+
+# ---------------------------------------------------------------------------
+# plane kernel emission
+# ---------------------------------------------------------------------------
+
+
+class _Unsliceable(Exception):
+    """Internal: this expression/target falls outside the plane subset."""
+
+
+class _PlaneEmitter:
+    """Lowers the supported expression subset to bit-plane closures.
+
+    Mirrors the width/signedness protocol of the int64 emitter
+    (``_compile_expr`` / ``_compile_operand`` / ``_compile_eval`` in
+    :class:`repro.sim.batch._BatchCompiler`) so plane kernels and int64
+    closures agree bit-for-bit; anything outside the subset raises
+    :class:`_Unsliceable` and the whole node bridges to the int64 image.
+
+    Closures take the per-slot plane table ``pl`` (list of plane lists)
+    and return exactly the number of planes their contract width names —
+    every value is masked at every step, which is free here (dropping a
+    plane *is* the mask).
+    """
+
+    def __init__(self, comp: _Compiler, n_lanes: int) -> None:
+        self.comp = comp
+        self.full = (1 << n_lanes) - 1
+        self.reads: Set[int] = set()
+
+    def begin_node(self) -> None:
+        self.reads = set()
+
+    # -- protocol entry points ----------------------------------------------
+
+    def expr(self, expr: ast.Expr, context_width: int):
+        """Mirror of ``_compile_expr``: (n_planes, fn) at context width."""
+        width = max(context_width, self.comp._self_width(expr))
+        return width, self._eval(expr, width)
+
+    def _operand(self, expr: ast.Expr, width: int):
+        """Mirror of ``_compile_operand``: sign/zero extension applies."""
+        own = self.comp._self_width(expr)
+        fn = self._eval(expr, max(own, width))
+        if width <= own:
+            return max(own, width), fn
+        if self.comp._is_signed(expr):
+            def signed_ext(pl, _f=fn, _own=own, _w=width):
+                planes = _f(pl)
+                sign = planes[_own - 1]
+                return planes[:_own] + [sign] * (_w - _own)
+
+            return width, signed_ext
+        return width, fn  # _eval already zero-fills above own
+
+    # -- helpers -------------------------------------------------------------
+
+    @staticmethod
+    def _fit(planes: List[int], width: int) -> List[int]:
+        if len(planes) == width:
+            return planes
+        if len(planes) > width:
+            return planes[:width]
+        return planes + [0] * (width - len(planes))
+
+    def _const_planes(self, value: int, width: int) -> List[int]:
+        full = self.full
+        return [full if (value >> b) & 1 else 0 for b in range(max(width, 1))]
+
+    def _bool(self, expr: ast.Expr):
+        """One plane: nonzero test of ``expr`` (self-determined width)."""
+        _, fn = self.expr(expr, 0)
+
+        def nonzero(pl, _f=fn):
+            acc = 0
+            for p in _f(pl):
+                acc |= p
+            return acc
+
+        return nonzero
+
+    def _add_planes(self, a: List[int], b: List[int], carry: int,
+                    full: int) -> List[int]:
+        out: List[int] = []
+        for i in range(len(a)):
+            ai, bi = a[i], b[i]
+            axb = ai ^ bi
+            out.append(axb ^ carry)
+            carry = (ai & bi) | (carry & axb)
+        return out
+
+    def _less_planes(self, a: List[int], b: List[int], full: int) -> int:
+        """Lane mask of ``a < b`` (unsigned), LSB-first borrow chain."""
+        lt = 0
+        for i in range(len(a)):
+            ai, bi = a[i], b[i]
+            eq = (ai ^ bi) ^ full
+            lt = (bi & ~ai & full) | (lt & eq)
+        return lt
+
+    # -- the subset ----------------------------------------------------------
+
+    def _eval(self, expr: ast.Expr, width: int):
+        comp = self.comp
+        width = max(width, 1)
+        full = self.full
+
+        if comp._is_static(expr):
+            try:
+                value = _ev._eval(expr, comp._static, width)
+            except SimulationError as exc:
+                raise UncompilableDesign(str(exc)) from None
+            const = self._const_planes(value, width)
+            return lambda pl, _c=const: _c
+
+        if isinstance(expr, ast.Identifier):
+            name = expr.name
+            if name in comp.mem_of:
+                raise _Unsliceable("memory read")
+            slot = comp._slot(name)
+            self.reads.add(slot)
+            own = max(comp.widths[slot], 1)
+            if own == width:
+                return lambda pl, _s=slot: pl[_s]
+            fit = self._fit
+            return lambda pl, _s=slot, _w=width, _fit=fit: _fit(pl[_s], _w)
+
+        if isinstance(expr, ast.Unary):
+            return self._eval_unary(expr, width)
+        if isinstance(expr, ast.Binary):
+            return self._eval_binary(expr, width)
+
+        if isinstance(expr, ast.Ternary):
+            cond = self._bool(expr.cond)
+            _, then = self._operand(expr.then, width)
+            _, other = self._operand(expr.other, width)
+
+            def mux(pl, _c=cond, _t=then, _o=other, _w=width, _full=full):
+                c = _c(pl)
+                nc = c ^ _full
+                t = _t(pl)
+                o = _o(pl)
+                return [(c & t[i]) | (nc & o[i]) for i in range(_w)]
+
+            return mux
+
+        if isinstance(expr, ast.Concat):
+            parts = []
+            for part in reversed(expr.parts):
+                pw = comp._self_width(part)
+                parts.append((self._eval(part, pw), max(pw, 1)))
+
+            def concat(pl, _parts=tuple(parts), _w=width, _fit=self._fit):
+                planes: List[int] = []
+                for fn, pw in _parts:
+                    planes.extend(fn(pl)[:pw])
+                return _fit(planes, _w)
+
+            return concat
+
+        if isinstance(expr, ast.Repeat):
+            times = comp._static_int(expr.count)
+            inner_width = max(comp._self_width(expr.inner), 1)
+            inner = self._eval(expr.inner, inner_width)
+
+            def repeat(pl, _f=inner, _n=times, _iw=inner_width, _w=width,
+                       _fit=self._fit):
+                unit = _f(pl)[:_iw]
+                return _fit(unit * _n, _w)
+
+            return repeat
+
+        if isinstance(expr, ast.Index):
+            name = comp._base_name(expr.base)
+            if name in comp.mem_of or not comp._is_static(expr.index):
+                raise _Unsliceable("dynamic or memory index")
+            slot = comp._slot(name)
+            self.reads.add(slot)
+            bit = comp._static_int(expr.index)
+            own = max(comp.widths[slot], 1)
+
+            def read_bit(pl, _s=slot, _b=bit, _own=own, _w=width):
+                head = pl[_s][_b] if 0 <= _b < _own else 0
+                return [head] + [0] * (_w - 1)
+
+            return read_bit
+
+        if isinstance(expr, ast.PartSelect):
+            name = comp._base_name(expr.base)
+            if name in comp.mem_of:
+                raise _Unsliceable("memory part-select")
+            slot = comp._slot(name)
+            self.reads.add(slot)
+            msb = comp._static_int(expr.msb)
+            lsb = comp._static_int(expr.lsb)
+            if msb < lsb:
+                msb, lsb = lsb, msb
+            fit = self._fit
+
+            def part(pl, _s=slot, _lo=lsb, _hi=msb + 1, _w=width, _fit=fit):
+                return _fit(pl[_s][_lo:_hi], _w)
+
+            return part
+
+        if isinstance(expr, ast.IndexedPartSelect):
+            name = comp._base_name(expr.base)
+            if name in comp.mem_of or not comp._is_static(expr.start):
+                raise _Unsliceable("dynamic indexed part-select")
+            slot = comp._slot(name)
+            self.reads.add(slot)
+            sel_width = comp._static_int(expr.width)
+            lo = comp._static_int(expr.start)
+            if not expr.ascending:
+                lo = lo - sel_width + 1
+            lo = max(lo, 0)
+            fit = self._fit
+
+            def ipart(pl, _s=slot, _lo=lo, _hi=lo + sel_width, _w=width,
+                      _fit=fit):
+                return _fit(pl[_s][_lo:_hi], _w)
+
+            return ipart
+
+        raise _Unsliceable(f"cannot plane-lower {type(expr).__name__}")
+
+    def _eval_unary(self, expr: ast.Unary, width: int):
+        comp = self.comp
+        full = self.full
+        op = expr.op
+        if op in ("&", "~&", "|", "~|", "^", "~^", "^~"):
+            operand_width = max(comp._self_width(expr.operand), 1)
+            fn = self._eval(expr.operand, operand_width)
+            invert = full if op.startswith("~") or op == "^~" else 0
+
+            if op in ("&", "~&"):
+                def and_reduce(pl, _f=fn, _w=operand_width, _inv=invert,
+                               _full=full, _pad=width - 1):
+                    planes = _f(pl)
+                    acc = _full
+                    for i in range(_w):
+                        acc &= planes[i]
+                    return [acc ^ _inv] + [0] * _pad
+
+                return and_reduce
+            if op in ("|", "~|"):
+                def or_reduce(pl, _f=fn, _w=operand_width, _inv=invert,
+                              _pad=width - 1):
+                    planes = _f(pl)
+                    acc = 0
+                    for i in range(_w):
+                        acc |= planes[i]
+                    return [acc ^ _inv] + [0] * _pad
+
+                return or_reduce
+
+            def xor_reduce(pl, _f=fn, _w=operand_width, _inv=invert,
+                           _pad=width - 1):
+                planes = _f(pl)
+                acc = 0
+                for i in range(_w):
+                    acc ^= planes[i]
+                return [acc ^ _inv] + [0] * _pad
+
+            return xor_reduce
+        if op == "!":
+            nonzero = self._bool(expr.operand)
+
+            def lnot(pl, _f=nonzero, _full=full, _pad=width - 1):
+                return [_f(pl) ^ _full] + [0] * _pad
+
+            return lnot
+        _, fn = self._operand(expr.operand, width)
+        if op == "~":
+            def bnot(pl, _f=fn, _w=width, _full=full):
+                planes = _f(pl)
+                return [planes[i] ^ _full for i in range(_w)]
+
+            return bnot
+        if op == "-":
+            add = self._add_planes
+
+            def neg(pl, _f=fn, _w=width, _full=full, _add=add):
+                planes = _f(pl)
+                inv = [planes[i] ^ _full for i in range(_w)]
+                return _add(inv, [0] * _w, _full, _full)
+
+            return neg
+        if op == "+":
+            fit = self._fit
+            return lambda pl, _f=fn, _w=width, _fit=fit: _fit(_f(pl), _w)
+        raise _Unsliceable(f"unary operator {op!r}")
+
+    def _eval_binary(self, expr: ast.Binary, width: int):
+        comp = self.comp
+        full = self.full
+        op = expr.op
+        if op in ("&&", "||"):
+            lhs = self._bool(expr.lhs)
+            rhs = self._bool(expr.rhs)
+            if op == "&&":
+                def land(pl, _a=lhs, _b=rhs, _pad=width - 1):
+                    return [_a(pl) & _b(pl)] + [0] * _pad
+
+                return land
+
+            def lor(pl, _a=lhs, _b=rhs, _pad=width - 1):
+                return [_a(pl) | _b(pl)] + [0] * _pad
+
+            return lor
+        if op in ("==", "!=", "===", "!==", "<", "<=", ">", ">="):
+            cmp_width = max(
+                comp._self_width(expr.lhs), comp._self_width(expr.rhs), 1
+            )
+            signed = comp._is_signed(expr.lhs) and comp._is_signed(expr.rhs)
+            _, lhs = self._operand(expr.lhs, cmp_width)
+            _, rhs = self._operand(expr.rhs, cmp_width)
+            if op in ("==", "!=", "===", "!=="):
+                invert = full if op in ("==", "===") else 0
+
+                def equality(pl, _a=lhs, _b=rhs, _w=cmp_width, _inv=invert,
+                             _full=full, _pad=width - 1):
+                    a = _a(pl)
+                    b = _b(pl)
+                    diff = 0
+                    for i in range(_w):
+                        diff |= a[i] ^ b[i]
+                    return [(diff ^ _full) if _inv else diff] + [0] * _pad
+
+                # `diff` is the lanes-differ mask; == wants its inverse.
+                if invert:
+                    return equality
+
+                def inequality(pl, _a=lhs, _b=rhs, _w=cmp_width,
+                               _pad=width - 1):
+                    a = _a(pl)
+                    b = _b(pl)
+                    diff = 0
+                    for i in range(_w):
+                        diff |= a[i] ^ b[i]
+                    return [diff] + [0] * _pad
+
+                return inequality
+            swap = op in (">", "<=")
+            negate = op in ("<=", ">=")
+            less = self._less_planes
+
+            def ordering(pl, _a=lhs, _b=rhs, _w=cmp_width, _swap=swap,
+                         _neg=negate, _signed=signed, _full=full,
+                         _less=less, _pad=width - 1):
+                a = _a(pl)[:_w]
+                b = _b(pl)[:_w]
+                if _signed:
+                    # two's-complement order == unsigned order with the
+                    # sign plane flipped
+                    a = a[:-1] + [a[-1] ^ _full]
+                    b = b[:-1] + [b[-1] ^ _full]
+                if _swap:
+                    a, b = b, a
+                lt = _less(a, b, _full)
+                if _neg:
+                    lt ^= _full
+                return [lt] + [0] * _pad
+
+            return ordering
+        if op in ("<<", ">>", "<<<", ">>>"):
+            if not comp._is_static(expr.rhs):
+                raise _Unsliceable("dynamic shift amount")
+            amount = comp._static_int(expr.rhs)
+            _, lhs = self._operand(expr.lhs, width)
+            if op in ("<<", "<<<"):
+                k = min(amount, width)
+
+                def shl(pl, _f=lhs, _k=k, _w=width):
+                    planes = _f(pl)
+                    return [0] * _k + planes[: _w - _k]
+
+                return shl
+            arith = op == ">>>" and comp._is_signed(expr.lhs)
+            k = min(amount, width)
+
+            def shr(pl, _f=lhs, _k=k, _w=width, _arith=arith):
+                planes = _f(pl)[:_w]
+                fill = planes[-1] if (_arith and planes) else 0
+                return planes[_k:] + [fill] * _k
+
+            return shr
+        if op in ("+", "-"):
+            _, lhs = self._operand(expr.lhs, width)
+            _, rhs = self._operand(expr.rhs, width)
+            add = self._add_planes
+
+            if op == "+":
+                def plus(pl, _a=lhs, _b=rhs, _w=width, _full=full, _add=add):
+                    return _add(_a(pl)[:_w], _b(pl)[:_w], 0, _full)
+
+                return plus
+
+            def minus(pl, _a=lhs, _b=rhs, _w=width, _full=full, _add=add):
+                b = _b(pl)
+                inv = [b[i] ^ _full for i in range(_w)]
+                return _add(_a(pl)[:_w], inv, _full, _full)
+
+            return minus
+        if op in ("&", "|", "^", "~^", "^~"):
+            _, lhs = self._operand(expr.lhs, width)
+            _, rhs = self._operand(expr.rhs, width)
+            if op == "&":
+                def band(pl, _a=lhs, _b=rhs, _w=width):
+                    a, b = _a(pl), _b(pl)
+                    return [a[i] & b[i] for i in range(_w)]
+
+                return band
+            if op == "|":
+                def bor(pl, _a=lhs, _b=rhs, _w=width):
+                    a, b = _a(pl), _b(pl)
+                    return [a[i] | b[i] for i in range(_w)]
+
+                return bor
+            if op == "^":
+                def bxor(pl, _a=lhs, _b=rhs, _w=width):
+                    a, b = _a(pl), _b(pl)
+                    return [a[i] ^ b[i] for i in range(_w)]
+
+                return bxor
+
+            def bxnor(pl, _a=lhs, _b=rhs, _w=width, _full=full):
+                a, b = _a(pl), _b(pl)
+                return [(a[i] ^ b[i]) ^ _full for i in range(_w)]
+
+            return bxnor
+        raise _Unsliceable(f"binary operator {op!r}")
+
+
+# ---------------------------------------------------------------------------
+# compiled image
+# ---------------------------------------------------------------------------
+
+
+class BitsliceDesign(_batch.BatchDesign):
+    """Bit-plane execution image wrapping an int64 :class:`BatchDesign`.
+
+    Carries the full int64 image in :attr:`base` (every metadata field is
+    mirrored onto this object, so facade checks like
+    :func:`repro.sim.batch.is_stateless_comb` read it directly) plus the
+    plane schedule: per levelized-schedule position, either a plane
+    kernel or a bridge entry running the int64 node with lazy
+    plane<->lane-array conversion at the boundary.
+    """
+
+    __slots__ = ("base", "plane_sched", "seq_effects", "plane_node_count")
+
+    def __init__(self) -> None:  # noqa: D107 - populated by compile_bitslice
+        super().__init__()
+        self.base: Optional[_batch.BatchDesign] = None
+        #: per topo position: ("plane", slot, width, fn, read_slots) or
+        #: ("bridge", run, read_slots, write_slots)
+        self.plane_sched: Tuple = ()
+        #: per seq block: (read_slots, write_slots) for boundary sync
+        self.seq_effects: Tuple = ()
+        self.plane_node_count = 0
+
+
+def compile_bitslice(design: Design, n_lanes: int) -> _batch.BatchDesign:
+    """Lower ``design`` to the bit-plane image (or its int64 image).
+
+    The int64 image always compiles first — it provides verdict-exact
+    execution for every bridged node and the whole-design fallback; its
+    :class:`~repro.sim.batch.UnbatchableDesign` outcomes propagate
+    unchanged.  Returns the plain int64 image (counting
+    ``bitslice.fallback_int64``) when not a single assign plane-lowers.
+    """
+    base = _batch.batch_design(design, n_lanes, "int64")
+    comp = _Compiler(design)
+    emitter = _PlaneEmitter(comp, n_lanes)
+    plane_nodes: Dict[int, tuple] = {}
+    for i, assign in enumerate(design.comb_assigns):
+        target = assign.target
+        if not isinstance(target, ast.Identifier):
+            continue
+        try:
+            slot = comp._slot(target.name)
+            w = max(comp.widths[slot], 1)
+            emitter.begin_node()
+            _, fn = emitter.expr(assign.value, comp.widths[slot])
+            plane_nodes[i] = (slot, w, fn, frozenset(emitter.reads))
+        except (_Unsliceable, UncompilableDesign):
+            continue
+    if not plane_nodes:
+        obs.count("bitslice.fallback_int64")
+        return base
+
+    node_reads: List[Set[int]] = [set() for _ in range(len(base.nodes))]
+    node_writes: List[Set[int]] = [set() for _ in range(len(base.nodes))]
+    for ps, nodes in base.readers.items():
+        for node in nodes:
+            node_reads[node].add(ps)
+    for ps, nodes in base.writers.items():
+        for node in nodes:
+            node_writes[node].add(ps)
+
+    sched: List[tuple] = []
+    for i in base.topo:
+        entry = plane_nodes.get(i)
+        if entry is not None:
+            sched.append(("plane",) + entry)
+        else:
+            sched.append((
+                "bridge", base.nodes[i],
+                tuple(sorted(node_reads[i])),
+                tuple(sorted(node_writes[i])),
+            ))
+
+    seq_effects = []
+    for block in design.seq_blocks:
+        reads: Set[int] = set()
+        writes: Set[int] = set()
+        comp._stmt_effects(block.body, set(), reads, writes)
+        # Overlay commits read current state for inactive lanes, so
+        # written slots must be boundary-fresh too.
+        seq_effects.append((
+            tuple(sorted(reads | writes)), tuple(sorted(writes)),
+        ))
+
+    bsd = BitsliceDesign()
+    for klass in type(base).__mro__:
+        for name in getattr(klass, "__slots__", ()):
+            setattr(bsd, name, getattr(base, name))
+    bsd.base = base
+    bsd.representation = "bitslice"
+    bsd.plane_sched = tuple(sched)
+    bsd.seq_effects = tuple(seq_effects)
+    bsd.plane_node_count = len(plane_nodes)
+    obs.count("bitslice.nodes_plane", len(plane_nodes))
+    obs.count("bitslice.nodes_bridged", len(base.nodes) - len(plane_nodes))
+    return bsd
+
+
+# ---------------------------------------------------------------------------
+# simulator
+# ---------------------------------------------------------------------------
+
+
+class BitsliceSimulator(_batch.BatchSimulator):
+    """Runs a :class:`BitsliceDesign`: plane kernels + int64 bridges.
+
+    ``self.st`` remains the int64 lane-array state (so every inherited
+    view — ``peek``/``peek_lanes``/``state``/pokes — works unchanged
+    once synchronized), while ``self.planes`` holds the bit-plane
+    transposition.  Two staleness sets make the dual representation
+    lazy: a slot is packed to planes or unpacked to lane arrays only
+    when the other side actually reads it, so pure-control designs pay
+    one transpose per poked input and per peeked output, not per node.
+    """
+
+    def __init__(self, design: Design,
+                 bd: Optional[_batch.BatchDesign] = None,
+                 max_settle_rounds: Optional[int] = None):
+        if bd is None:
+            bd = _batch.batch_design(design, 1, "bitslice")
+        if not isinstance(bd, BitsliceDesign):
+            raise SimulationError(
+                "design did not plane-lower; run BatchSimulator on its "
+                "int64 image instead"
+            )
+        n_lanes = bd.n_lanes
+        self.design = design
+        self.bdesign = bd
+        self.n_lanes = n_lanes
+        self._full = (1 << n_lanes) - 1
+        self.st: List[np.ndarray] = [
+            np.zeros(n_lanes, dtype=_I64) for _ in range(bd.n_signals)
+        ]
+        self.mem_data: List[np.ndarray] = [
+            np.zeros((depth, n_lanes), dtype=_I64) for depth in bd.mem_depths
+        ]
+        self.planes: List[List[int]] = [
+            [0] * max(w, 1) for w in bd.widths
+        ]
+        #: slots whose authoritative value lives in ``st`` (planes stale)
+        self._plane_stale: Set[int] = set()
+        #: slots whose authoritative value lives in ``planes``
+        self._lanes_stale: Set[int] = set()
+        self._max_rounds = max_settle_rounds or (2 * bd.comb_count + 16)
+        self.stat_settles = 0
+        self.stat_plane_nodes = 0
+        self.stat_bridge_nodes = 0
+        # Initial statements bridge wholesale (they run once).
+        for body in bd.initial:
+            overlay: Dict[int, np.ndarray] = {}
+            mem_overlay: Dict[int, np.ndarray] = {}
+            nba: List[tuple] = []
+            body(self.st, self.mem_data, overlay, mem_overlay, nba, bd.ones)
+            _batch._commit_lane_overlays(
+                self.st, self.mem_data, overlay, mem_overlay, nba,
+                bd.widths, bd.lane_ix, bd.shift_cap,
+            )
+        if bd.initial:
+            self._plane_stale.update(range(bd.n_signals))
+        self.settle()
+
+    # -- representation sync -------------------------------------------------
+
+    def _fresh_planes(self, slot: int) -> List[int]:
+        if slot in self._plane_stale:
+            self.planes[slot] = _pack_lanes(
+                self.st[slot], self.bdesign.widths[slot], self.n_lanes
+            )
+            self._plane_stale.discard(slot)
+        return self.planes[slot]
+
+    def _fresh_lanes(self, slot: int) -> np.ndarray:
+        if slot in self._lanes_stale:
+            self.st[slot] = _unpack_planes(self.planes[slot], self.n_lanes)
+            self._lanes_stale.discard(slot)
+        return self.st[slot]
+
+    def _sync_all_lanes(self) -> None:
+        for slot in tuple(self._lanes_stale):
+            self._fresh_lanes(slot)
+
+    # -- observable views (inherited bodies over synced state) ---------------
+
+    @property
+    def state(self):
+        self._sync_all_lanes()
+        return _batch.BatchSimulator.state.fget(self)
+
+    def peek(self, name: str):
+        slot = self.bdesign.slot_of.get(name)
+        if slot is not None:
+            self._fresh_lanes(slot)
+        return super().peek(name)
+
+    def peek_lanes(self, name: str) -> np.ndarray:
+        slot = self.bdesign.slot_of.get(name)
+        if slot is not None:
+            self._fresh_lanes(slot)
+        return super().peek_lanes(name)
+
+    # -- poke hooks ----------------------------------------------------------
+
+    def _poke_pending(self, name: str, value) -> bool:
+        slot = self.bdesign.slot_of.get(name)
+        if slot is not None:
+            self._fresh_lanes(slot)
+        return super()._poke_pending(name, value)
+
+    def _poke_apply(self, name: str, value) -> None:
+        super()._poke_apply(name, value)
+        slot = self.bdesign.slot_of[name]
+        self._plane_stale.add(slot)
+        self._lanes_stale.discard(slot)
+
+    # -- settle / edges ------------------------------------------------------
+
+    def settle(self) -> None:
+        """One plane-schedule sweep, bridging int64 nodes as scheduled."""
+        planes = self.planes
+        st = self.st
+        mems = self.mem_data
+        plane_stale = self._plane_stale
+        lanes_stale = self._lanes_stale
+        plane_nodes = 0
+        bridge_nodes = 0
+        for entry in self.bdesign.plane_sched:
+            if entry[0] == "plane":
+                _, slot, w, fn, reads = entry
+                if plane_stale:
+                    for r in reads:
+                        if r in plane_stale:
+                            self._fresh_planes(r)
+                out = fn(planes)
+                planes[slot] = out if len(out) == w else out[:w]
+                lanes_stale.add(slot)
+                plane_stale.discard(slot)
+                plane_nodes += 1
+            else:
+                _, run, reads, writes = entry
+                if lanes_stale:
+                    for r in reads:
+                        if r in lanes_stale:
+                            self._fresh_lanes(r)
+                    for ws in writes:
+                        if ws in lanes_stale:
+                            self._fresh_lanes(ws)
+                run(st, mems)
+                for ws in writes:
+                    if ws < self.bdesign.n_signals:
+                        plane_stale.add(ws)
+                        lanes_stale.discard(ws)
+                bridge_nodes += 1
+        self.stat_settles += 1
+        self.stat_plane_nodes += plane_nodes
+        self.stat_bridge_nodes += bridge_nodes
+
+    def _trigger_snapshot(self) -> List[int]:
+        # Trigger bits are single plane ints: edge detection over all
+        # lanes is a handful of int ops instead of array compares.
+        return [
+            self._fresh_planes(s)[0] for s in self.bdesign.trigger_slots
+        ]
+
+    def _fire_edges(self, snapshot: List[int]) -> None:
+        bd = self.bdesign
+        full = self._full
+        for _ in range(self._max_rounds):
+            current = [
+                self._fresh_planes(s)[0] for s in bd.trigger_slots
+            ]
+            fired: List[tuple] = []
+            for j, (triggers, body) in enumerate(bd.seq):
+                lanes = 0
+                for want, ti in triggers:
+                    changed = snapshot[ti] ^ current[ti]
+                    level = current[ti] if want else (current[ti] ^ full)
+                    lanes |= changed & level
+                if lanes:
+                    fired.append((body, lanes, bd.seq_effects[j]))
+            if not fired:
+                return
+            self._run_bridged_seq(fired)
+            self.settle()
+            snapshot = current
+        raise SimulationError(
+            "edge events failed to quiesce (oscillating clock loop?)"
+        )
+
+    def _run_bridged_seq(self, fired) -> None:
+        bd = self.bdesign
+        st = self.st
+        mems = self.mem_data
+        written: Set[int] = set()
+        for _, _, (reads, writes) in fired:
+            for r in reads:
+                if r in self._lanes_stale:
+                    self._fresh_lanes(r)
+            written.update(writes)
+        pending: List[tuple] = []
+        for body, lanes, _ in fired:
+            pred = _mask_lanes(lanes, self.n_lanes)
+            overlay: Dict[int, np.ndarray] = {}
+            mem_overlay: Dict[int, np.ndarray] = {}
+            body(st, mems, overlay, mem_overlay, pending, pred)
+            _batch._commit_lane_overlays(
+                st, mems, overlay, mem_overlay, None, bd.widths, bd.lane_ix,
+                bd.shift_cap,
+            )
+        if pending:
+            _batch._commit_nba_lanes(
+                st, mems, pending, bd.widths, bd.lane_ix, bd.shift_cap
+            )
+        for ws in written:
+            if ws < bd.n_signals:
+                self._plane_stale.add(ws)
+                self._lanes_stale.discard(ws)

@@ -68,7 +68,7 @@ __all__ = [
 #: are then counted as ``sim.cache.version_mismatch`` and evicted instead
 #: of deserializing stale behaviour (or leaking on disk forever, as the
 #: old key-embedded-version scheme did).
-BACKEND_VERSION = 5
+BACKEND_VERSION = 6
 
 _ENV = "REPRO_SIM_CACHE"
 
@@ -242,7 +242,9 @@ def put_design(source: str, module_name: str, design: Design) -> bool:
 UNBATCHABLE_SHAPE = ""
 
 
-def get_shape(source: str, module_name: str) -> Optional[str]:
+def get_shape(
+    source: str, module_name: str, representation: str = "auto"
+) -> Optional[str]:
     """Cached lockstep shape digest for ``module_name`` in ``source``.
 
     Returns the digest string, :data:`UNBATCHABLE_SHAPE` when the
@@ -251,12 +253,26 @@ def get_shape(source: str, module_name: str) -> Optional[str]:
     later runs group candidates without re-probing the compiler, and the
     digest can never alias a different source because the key hashes the
     full text (the envelope's :data:`BACKEND_VERSION` check evicts
-    digests stranded by grouping-rule changes).
+    digests stranded by grouping-rule changes).  ``representation`` is
+    the active lane-representation pin
+    (:func:`repro.sim.batch.configured_lane_representation`): the same
+    source groups differently under different pins — a >63-bit design is
+    a spill lane under ``"auto"`` but unbatchable under a forced
+    ``"int64"`` — so the pin is part of the key.
     """
-    shape = load("lockstep-shape", source, module_name)
+    shape = load("lockstep-shape", source, module_name, representation)
     return shape if isinstance(shape, str) else None
 
 
-def put_shape(source: str, module_name: str, digest: str) -> bool:
-    """Persist a lockstep shape digest (or :data:`UNBATCHABLE_SHAPE`)."""
-    return store("lockstep-shape", digest, source, module_name)
+def put_shape(
+    source: str,
+    module_name: str,
+    digest: str,
+    representation: str = "auto",
+) -> bool:
+    """Persist a lockstep shape digest (or :data:`UNBATCHABLE_SHAPE`).
+
+    ``representation`` must be the same lane-representation pin the
+    digest was computed under (see :func:`get_shape`).
+    """
+    return store("lockstep-shape", digest, source, module_name, representation)

@@ -14,6 +14,12 @@
 * **levelized scheduling** — the acyclic combinational region is
   topologically sorted into a single-pass schedule; a fanout-driven dirty
   set means a poke re-evaluates only the cone of logic it can reach;
+* **bit-level dirty granularity** — continuous assigns that read a
+  static part-select or bit of a wide bus record a per-reader bit mask;
+  out-of-schedule writes (pokes, nonblocking commits, sequential-block
+  overlays) carry the ``old ^ new`` changed-bit mask, and readers whose
+  mask does not intersect are skipped instead of re-evaluated (counter:
+  ``sim.dirty.reader_skips``);
 * **compiled sequential blocks** — edge triggers resolve to precomputed
   trigger-bit slots, so edge detection snapshots a short list instead of
   rebuilding a name-keyed dict per poke.
@@ -40,6 +46,7 @@ from __future__ import annotations
 import heapq
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
+from repro import obs
 from repro.errors import SimulationError
 from repro.verilog import ast
 from repro.sim import eval as _ev
@@ -102,12 +109,16 @@ class _StaticScope:
         raise SimulationError("memory contents are not compile-time constants")
 
 
-def _commit_nba(st, mems, updates, widths, n_signals, changed) -> None:
+def _commit_nba(st, mems, updates, widths, n_signals, changed,
+                masks=None) -> None:
     """Commit nonblocking updates; append changed pseudo-slots to ``changed``.
 
     Mirrors ``InterpreterSimulator._commit_nba`` update-for-update.
     Updates are ``(is_mem, slot, lo, width, value)`` tuples; memory
-    changes are reported as pseudo-slot ``n_signals + mem_slot``.
+    changes are reported as pseudo-slot ``n_signals + mem_slot``.  When
+    ``masks`` is a dict it accumulates the changed-bit mask
+    (``old ^ new``) per pseudo-slot for bit-granular dirty marking;
+    memory changes are conservatively all-bits.
     """
     for is_mem, slot, lo, width, value in updates:
         if is_mem:
@@ -117,6 +128,8 @@ def _commit_nba(st, mems, updates, widths, n_signals, changed) -> None:
                 if column[lo] != new:
                     column[lo] = new
                     changed.append(n_signals + slot)
+                    if masks is not None:
+                        masks[n_signals + slot] = -1
             continue
         keep = st[slot]
         sig_width = widths[slot]
@@ -130,6 +143,8 @@ def _commit_nba(st, mems, updates, widths, n_signals, changed) -> None:
         if new != keep:
             st[slot] = new
             changed.append(slot)
+            if masks is not None:
+                masks[slot] = masks.get(slot, 0) | (keep ^ new)
 
 
 class CompiledDesign:
@@ -153,6 +168,7 @@ class CompiledDesign:
         "topo",
         "pos_of",
         "readers",
+        "read_masks",
         "writers",
         "seq",
         "trigger_slots",
@@ -179,6 +195,10 @@ class CompiledDesign:
         self.topo: List[int] = []     # schedule position -> node index
         self.pos_of: List[int] = []   # node index -> schedule position
         self.readers: Dict[int, Tuple[int, ...]] = {}
+        #: per pseudo-slot, one read-bit mask per entry of ``readers[ps]``
+        #: (-1 = reads any bit); lets bit-granular external writes skip
+        #: readers of untouched bits of a wide bus
+        self.read_masks: Dict[int, Tuple[int, ...]] = {}
         self.writers: Dict[int, Tuple[int, ...]] = {}
         #: compiled seq blocks: (trigger list [(wanted bit, index)], body fn)
         self.seq: List[Tuple[List[Tuple[int, int]], _StmtFn]] = []
@@ -1188,6 +1208,121 @@ class _Compiler:
             return
         raise UncompilableDesign(f"cannot analyse {type(expr).__name__}")
 
+    def _expr_read_masks(self, expr: ast.Expr,
+                         masks: Dict[int, int]) -> None:
+        """Accumulate per-pseudo-slot *bit* read masks for one expression.
+
+        The bit-granular companion of :meth:`_expr_reads` for continuous
+        assigns: a static part-select or bit index of a signal records
+        only the bits it actually reads, everything else records -1 (any
+        bit).  Memories are always -1 — words have no per-bit dirty
+        tracking.  ``-1 | x == -1`` keeps accumulation a plain OR.
+        """
+        if isinstance(expr, (ast.Number, ast.StringLiteral)):
+            return
+        if isinstance(expr, ast.Identifier):
+            if expr.name in self.mem_of:
+                masks[self._mem_pseudo(expr.name)] = -1
+            else:
+                masks[self._slot(expr.name)] = -1
+            return
+        if isinstance(expr, ast.Unary):
+            self._expr_read_masks(expr.operand, masks)
+            return
+        if isinstance(expr, ast.Binary):
+            self._expr_read_masks(expr.lhs, masks)
+            self._expr_read_masks(expr.rhs, masks)
+            return
+        if isinstance(expr, ast.Ternary):
+            self._expr_read_masks(expr.cond, masks)
+            self._expr_read_masks(expr.then, masks)
+            self._expr_read_masks(expr.other, masks)
+            return
+        if isinstance(expr, ast.Concat):
+            for part in expr.parts:
+                self._expr_read_masks(part, masks)
+            return
+        if isinstance(expr, ast.Repeat):
+            self._expr_read_masks(expr.count, masks)
+            self._expr_read_masks(expr.inner, masks)
+            return
+        if isinstance(expr, ast.Index):
+            name = self._base_name(expr.base)
+            if name in self.mem_of:
+                masks[self._mem_pseudo(name)] = -1
+            else:
+                slot = self._slot(name)
+                if self._is_static(expr.index):
+                    index = self._static_int(expr.index)
+                    bit = (
+                        1 << index
+                        if 0 <= index < self.widths[slot]
+                        else 0  # out-of-range bit reads as constant 0
+                    )
+                    masks[slot] = masks.get(slot, 0) | bit
+                else:
+                    masks[slot] = -1
+            self._expr_read_masks(expr.index, masks)
+            return
+        if isinstance(expr, ast.PartSelect):
+            name = self._base_name(expr.base)
+            slot = self._slot(name)
+            if self._is_static(expr.msb) and self._is_static(expr.lsb):
+                msb = self._static_int(expr.msb)
+                lsb = self._static_int(expr.lsb)
+                if msb < lsb:
+                    msb, lsb = lsb, msb
+                field = ((1 << (msb - lsb + 1)) - 1) << max(lsb, 0)
+                masks[slot] = masks.get(slot, 0) | field
+            else:
+                masks[slot] = -1
+            self._expr_read_masks(expr.msb, masks)
+            self._expr_read_masks(expr.lsb, masks)
+            return
+        if isinstance(expr, ast.IndexedPartSelect):
+            name = self._base_name(expr.base)
+            slot = self._slot(name)
+            if self._is_static(expr.start) and self._is_static(expr.width):
+                start = self._static_int(expr.start)
+                width = self._static_int(expr.width)
+                if not expr.ascending:
+                    start = start - width + 1
+                field = ((1 << max(width, 0)) - 1) << max(start, 0)
+                masks[slot] = masks.get(slot, 0) | field
+            else:
+                masks[slot] = -1
+            self._expr_read_masks(expr.start, masks)
+            self._expr_read_masks(expr.width, masks)
+            return
+        if isinstance(expr, ast.SystemCall):
+            for arg in expr.args:
+                self._expr_read_masks(arg, masks)
+            return
+        raise UncompilableDesign(f"cannot analyse {type(expr).__name__}")
+
+    def _assign_read_masks(self, assign,
+                           reads: Set[int]) -> Dict[int, int]:
+        """Read-bit masks for one continuous assign, aligned to ``reads``.
+
+        Value-side reads get precise masks where statically known; reads
+        contributed by the lvalue (dynamic index expressions, the
+        self-read of a partial write) stay conservatively -1.  Any slot
+        the mask walk could not classify defaults to -1, so this can
+        only ever *narrow* the dirty set, never starve it.
+        """
+        masks: Dict[int, int] = {}
+        try:
+            self._expr_read_masks(assign.value, masks)
+        except UncompilableDesign:
+            masks = {}
+        lvalue_reads: Set[int] = set()
+        self._lvalue_effects(
+            assign.target, True, set(), lvalue_reads, set()
+        )
+        for ps in lvalue_reads:
+            masks[ps] = -1
+        return {ps: masks.get(ps, -1) for ps in reads}
+
     def _lvalue_effects(self, target: ast.Expr, blocking: bool,
                         written: Set[str], reads: Set[int],
                         writes: Set[int]) -> None:
@@ -1368,16 +1503,20 @@ class _Compiler:
 
         node_reads: List[Set[int]] = []
         node_writes: List[Set[int]] = []
+        node_read_masks: List[Dict[int, int]] = []
         for assign in design.comb_assigns:
             run, reads, writes = self._build_assign_node(assign)
             cd.nodes.append(run)
             node_reads.append(reads)
             node_writes.append(writes)
+            node_read_masks.append(self._assign_read_masks(assign, reads))
         for block in design.comb_blocks:
             run, reads, writes = self._build_block_node(block)
             cd.nodes.append(run)
             node_reads.append(reads)
             node_writes.append(writes)
+            # Blocks read under control flow: conservatively any bit.
+            node_read_masks.append({ps: -1 for ps in reads})
 
         # Sequential blocks + trigger-bit slots.
         trigger_names = sorted(
@@ -1406,10 +1545,11 @@ class _Compiler:
             if fn is not None:
                 cd.initial.append(fn)
 
-        self._schedule(cd, node_reads, node_writes)
+        self._schedule(cd, node_reads, node_writes, node_read_masks)
         return cd
 
-    def _schedule(self, cd: CompiledDesign, node_reads, node_writes) -> None:
+    def _schedule(self, cd: CompiledDesign, node_reads, node_writes,
+                  node_read_masks=None) -> None:
         """Levelize the comb region; fall back to fixpoint order if the
         static scheduler cannot order it (cycle, multi-driver, self-dep)."""
         n = len(cd.nodes)
@@ -1422,6 +1562,14 @@ class _Compiler:
                 readers.setdefault(ps, []).append(i)
         cd.readers = {ps: tuple(nodes) for ps, nodes in readers.items()}
         cd.writers = {ps: tuple(nodes) for ps, nodes in writers.items()}
+        if node_read_masks is not None:
+            cd.read_masks = {
+                ps: tuple(node_read_masks[i].get(ps, -1) for i in nodes)
+                for ps, nodes in readers.items()
+                # All-readers-read-all-bits slots need no mask row; the
+                # runtime treats a missing entry as -1 for every reader.
+                if any(node_read_masks[i].get(ps, -1) != -1 for i in nodes)
+            }
 
         levelized = all(len(nodes) == 1 for nodes in writers.values())
         succs: List[Set[int]] = [set() for _ in range(n)]
@@ -1475,6 +1623,9 @@ class CompiledSimulator(Simulator):
         self._max_rounds = max_settle_rounds or (2 * cd.comb_count + 16)
         self._heap: List[int] = []
         self._queued = bytearray(len(cd.nodes))
+        #: readers skipped because an external write's changed-bit mask
+        #: missed their recorded read bits (``sim.dirty.reader_skips``)
+        self.stat_reader_skips = 0
         # Initial statements commit per statement, like the interpreter.
         for body in cd.initial:
             overlay: Dict[int, int] = {}
@@ -1539,26 +1690,45 @@ class CompiledSimulator(Simulator):
     def _poke_apply(self, name: str, value: int) -> None:
         cd = self.cdesign
         slot = cd.slot_of[name]
-        self.st[slot] = value & cd.masks[slot]
+        old = self.st[slot]
+        new = value & cd.masks[slot]
+        self.st[slot] = new
         if cd.levelized:
-            self._mark_external(slot)
+            self._mark_external_masked(slot, old ^ new)
 
     def _trigger_snapshot(self) -> List[int]:
         st = self.st
         return [st[s] & 1 for s in self.cdesign.trigger_slots]
 
     def _mark_external(self, pseudo_slot: int) -> None:
+        self._mark_external_masked(pseudo_slot, -1)
+
+    def _mark_external_masked(self, pseudo_slot: int, mask: int) -> None:
         """An out-of-schedule write landed on ``pseudo_slot``: re-run its
         readers *and* its driver (so a poked comb-driven net is restored,
-        exactly as the interpreter's full-pass settle would)."""
+        exactly as the interpreter's full-pass settle would).  ``mask``
+        is the changed-bit mask (``old ^ new``; -1 = unknown/all):
+        readers with a recorded read mask that does not intersect it —
+        e.g. a static part-select of untouched bits of a wide bus — are
+        skipped."""
         cd = self.cdesign
         queued = self._queued
         heap = self._heap
         pos_of = cd.pos_of
-        for node in cd.readers.get(pseudo_slot, ()):
-            if not queued[node]:
-                queued[node] = 1
-                heapq.heappush(heap, pos_of[node])
+        readers = cd.readers.get(pseudo_slot, ())
+        if readers:
+            read_masks = cd.read_masks.get(pseudo_slot)
+            skipped = 0
+            for index, node in enumerate(readers):
+                if read_masks is not None and not (read_masks[index] & mask):
+                    skipped += 1
+                    continue
+                if not queued[node]:
+                    queued[node] = 1
+                    heapq.heappush(heap, pos_of[node])
+            if skipped:
+                self.stat_reader_skips += skipped
+                obs.count("sim.dirty.reader_skips", skipped)
         for node in cd.writers.get(pseudo_slot, ()):
             if not queued[node]:
                 queued[node] = 1
@@ -1647,6 +1817,7 @@ class CompiledSimulator(Simulator):
         n_signals = cd.n_signals
         pending: List[tuple] = []
         changed: List[int] = []
+        masks: Dict[int, int] = {}
         for _, body in procs:
             overlay: Dict[int, int] = {}
             mem_overlay: Dict[Tuple[int, int], int] = {}
@@ -1654,15 +1825,18 @@ class CompiledSimulator(Simulator):
             # Blocking writes commit with the block; nonblocking updates
             # commit once, after every triggered block ran.
             for slot, value in overlay.items():
-                if st[slot] != value:
+                old = st[slot]
+                if old != value:
                     st[slot] = value
                     changed.append(slot)
+                    masks[slot] = masks.get(slot, 0) | (old ^ value)
             for (mem_slot, idx), value in mem_overlay.items():
                 column = mems[mem_slot]
                 if column[idx] != value:
                     column[idx] = value
                     changed.append(n_signals + mem_slot)
-        _commit_nba(st, mems, pending, cd.widths, n_signals, changed)
+                    masks[n_signals + mem_slot] = -1
+        _commit_nba(st, mems, pending, cd.widths, n_signals, changed, masks)
         if cd.levelized:
             for ps in changed:
-                self._mark_external(ps)
+                self._mark_external_masked(ps, masks.get(ps, -1))

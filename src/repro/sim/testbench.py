@@ -34,6 +34,7 @@ from repro.sim.batch import (
     LockstepGroup,
     LockstepSimulator,
     UnbatchableDesign,
+    make_batch_simulator,
 )
 from repro.sim.compile import UncompilableDesign
 from repro.sim.elaborate import Design, elaborate
@@ -198,7 +199,7 @@ class BatchTestbench(Testbench):
 
     def _make_simulator(self, design: Design,
                         backend: Optional[str]) -> BatchSimulator:
-        return BatchSimulator(design, n_lanes=self.n_lanes)
+        return make_batch_simulator(design, n_lanes=self.n_lanes)
 
     def sample(self) -> Dict[str, np.ndarray]:
         """Per-lane output arrays after combinational settle."""
@@ -352,6 +353,15 @@ def sweep_random_stimulus(
     )
 
 
+def _lane_vector(values: List[int], wide: bool) -> np.ndarray:
+    """Per-lane stimulus column; object dtype keeps >63-bit values exact."""
+    if wide:
+        arr = np.empty(len(values), dtype=object)
+        arr[:] = values
+        return arr
+    return np.fromiter(values, dtype=np.int64, count=len(values))
+
+
 def _sweep_lanes(design, stimuli, seeds, clock, reset,
                  reset_active_high) -> SweepResult:
     n_lanes = len(seeds)
@@ -362,12 +372,11 @@ def _sweep_lanes(design, stimuli, seeds, clock, reset,
     names = tuple(bench.output_names)
     traces: List[List[Tuple[int, ...]]] = [[] for _ in seeds]
     input_names = list(stimuli[0][0]) if stimuli and stimuli[0] else []
+    wide = bench.sim.bdesign.lane_dtype is object
     for cycle in range(len(stimuli[0]) if stimuli else 0):
         vector = {
-            name: np.fromiter(
-                (stimuli[lane][cycle][name] for lane in range(n_lanes)),
-                dtype=np.int64,
-                count=n_lanes,
+            name: _lane_vector(
+                [stimuli[lane][cycle][name] for lane in range(n_lanes)], wide
             )
             for name in input_names
         }

@@ -48,6 +48,7 @@ from repro.sim import (
     random_stimulus,
 )
 from repro.sim import cache as sim_cache
+from repro.sim.retire import replay_stragglers
 from repro.utils.rng import DeterministicRNG
 from repro.verilog import parse_source_fast
 from repro.vereval.passk import mean_pass_at_k
@@ -246,7 +247,11 @@ def _check_all_vectors_batch(
     lane-parallel settle.  Returns None — caller takes the scalar loop —
     whenever the preconditions fail, the candidate does not lane-lower,
     or a lane diverges; the verdict (including first-mismatch
-    bookkeeping) is identical either way.
+    bookkeeping) is identical either way: comparison and bookkeeping run
+    on :class:`repro.sim.retire.RetireEngine` in all-vectors mode (lane
+    = stimulus vector).  The lane backend follows the candidate's width
+    census — bitslice for 1-bit-heavy designs, spill (exact python-int
+    lanes) for >63-bit datapaths, int64 otherwise.
     """
     from repro.sim import default_backend
 
@@ -262,15 +267,22 @@ def _check_all_vectors_batch(
         or not ref.output_names
     ):
         return None
-    from repro.sim.batch import BatchSimulator, batch_design, is_stateless_comb
+    from repro.sim.batch import (
+        batch_design,
+        is_stateless_comb,
+        make_batch_simulator,
+    )
     from repro.sim.compile import UncompilableDesign
+    from repro.sim.retire import RetireEngine, lane_vector
 
     n_lanes = len(ref.stimulus)
     try:
-        if not is_stateless_comb(batch_design(candidate, n_lanes)):
+        bd = batch_design(candidate, n_lanes)
+        if not is_stateless_comb(bd):
             return None
-        expected = np.array(ref.trace, dtype=np.int64)
-        sim = BatchSimulator(candidate, n_lanes=n_lanes)
+        engine = RetireEngine(ref.output_names, ref.trace, n_lanes)
+        sim = make_batch_simulator(candidate, n_lanes=n_lanes)
+        wide = bd.lane_dtype is object
         vector: Dict[str, object] = {}
         reset = interface.reset
         if reset is not None and any(
@@ -280,8 +292,8 @@ def _check_all_vectors_batch(
             # input rests at its deasserted level.
             vector[reset] = 0 if interface.reset_active_high else 1
         for name in ref.stimulus[0]:
-            vector[name] = np.fromiter(
-                (v[name] for v in ref.stimulus), dtype=np.int64, count=n_lanes
+            vector[name] = lane_vector(
+                [v[name] for v in ref.stimulus], wide
             )
         sim.poke_many(vector)
         actual = np.stack(
@@ -293,19 +305,7 @@ def _check_all_vectors_batch(
         obs.count("batch.fallback_scalar")
         return None
     obs.count("batch.allvec_checks")
-    mismatched = expected != actual
-    if not mismatched.any():
-        return EquivalenceResult(equivalent=True, cycles_run=n_lanes)
-    cycle = int(np.argmax(mismatched.any(axis=1)))
-    out_index = int(np.argmax(mismatched[cycle]))
-    return EquivalenceResult(
-        equivalent=False,
-        cycles_run=cycle + 1,
-        first_mismatch_cycle=cycle,
-        mismatched_output=ref.output_names[out_index],
-        expected=int(expected[cycle, out_index]),
-        actual=int(actual[cycle, out_index]),
-    )
+    return engine.retire_all_vectors(actual)
 
 
 def _check_against_trace(
@@ -388,12 +388,20 @@ def _candidate_shape_digest(candidate, source: Optional[str]) -> str:
     :class:`~repro.sim.compile.UncompilableDesign` for candidates that
     cannot carry a lane — the caller routes those to the scalar path.
     """
-    from repro.sim.batch import UnbatchableDesign, lockstep_shape_digest
+    from repro.sim.batch import (
+        UnbatchableDesign,
+        configured_lane_representation,
+        lockstep_shape_digest,
+    )
     from repro.sim.compile import UncompilableDesign
 
     name = candidate.top
+    # The same source groups differently under different lane pins (a
+    # wide design is a spill lane under "auto" but unbatchable under a
+    # forced "int64"), so the active pin is part of the cache key.
+    rep = configured_lane_representation() or "auto"
     if source is not None:
-        cached = sim_cache.get_shape(source, name)
+        cached = sim_cache.get_shape(source, name, rep)
         if cached is not None:
             if cached == sim_cache.UNBATCHABLE_SHAPE:
                 raise UnbatchableDesign(
@@ -404,10 +412,12 @@ def _candidate_shape_digest(candidate, source: Optional[str]) -> str:
         digest = lockstep_shape_digest(candidate)
     except UncompilableDesign:
         if source is not None:
-            sim_cache.put_shape(source, name, sim_cache.UNBATCHABLE_SHAPE)
+            sim_cache.put_shape(
+                source, name, sim_cache.UNBATCHABLE_SHAPE, rep
+            )
         raise
     if source is not None:
-        sim_cache.put_shape(source, name, digest)
+        sim_cache.put_shape(source, name, digest, rep)
     return digest
 
 
@@ -424,25 +434,29 @@ def _run_lockstep_group(
     which preserves per-candidate error classification.  Returns ``None``
     outright when the group does not lower at all.
 
-    The protocol mirrors :func:`_check_against_trace` cycle for cycle:
-    golden reset/step errors preempt with the recorded phase, mismatching
-    lanes record the scalar first-mismatch bookkeeping (first cycle,
-    first output in golden name order) and retire, and surviving lanes
-    pass with the full cycle count.
+    The protocol mirrors :func:`_check_against_trace` cycle for cycle,
+    with verdict bookkeeping on :class:`repro.sim.retire.RetireEngine`
+    in lockstep mode (lane = candidate): golden reset/step errors
+    preempt with the recorded phase, mismatching lanes record the scalar
+    first-mismatch bookkeeping (first cycle, first output in golden name
+    order) and retire, and surviving lanes pass with the full cycle
+    count.
     """
     from repro.sim.batch import build_lockstep_group
     from repro.sim.compile import UncompilableDesign
+    from repro.sim.retire import RetireEngine
     from repro.sim.testbench import LockstepTestbench
 
     n_lanes = len(designs)
-    results: list = [None] * n_lanes
+    engine = RetireEngine(ref.output_names, ref.trace, n_lanes)
+    results = engine.results
     try:
         with obs.span("lockstep.compile", lanes=n_lanes):
             group = build_lockstep_group(designs)
     except UncompilableDesign:
         return None
     interface = problem.module.interface
-    names = ref.output_names
+    names = engine.names
     trace = ref.trace
     sim = None
     try:
@@ -458,22 +472,12 @@ def _run_lockstep_group(
             ] * n_lanes
         bench.apply_reset()
         sim = bench.sim
-        expected = (
-            np.array(trace, dtype=np.int64)
-            if trace
-            else np.zeros((0, len(names)), dtype=np.int64)
-        )
         for cycle, vector in enumerate(ref.stimulus):
             if cycle >= len(trace):
                 # The golden itself died at this cycle: it preempts both
                 # the candidate's step and the comparison, exactly as in
                 # the scalar trace check.
-                for lane in range(n_lanes):
-                    if results[lane] is None and sim.active[lane]:
-                        results[lane] = EquivalenceResult(
-                            equivalent=False, error=ref.error
-                        )
-                return results
+                return engine.preempt(ref.error, sim.active)
             bench.drive(vector)
             bench.tick()
             if not names:
@@ -481,29 +485,13 @@ def _run_lockstep_group(
             actual = np.stack(
                 [sim.peek_lanes(name) for name in names], axis=1
             )
-            mismatched = actual != expected[cycle]
-            lane_bad = mismatched.any(axis=1) & sim.active
+            lane_bad = engine.retire_cycle(cycle, actual, sim.active)
             if lane_bad.any():
-                for lane in np.nonzero(lane_bad)[0]:
-                    out_index = int(np.argmax(mismatched[lane]))
-                    results[int(lane)] = EquivalenceResult(
-                        equivalent=False,
-                        cycles_run=cycle + 1,
-                        first_mismatch_cycle=cycle,
-                        mismatched_output=names[out_index],
-                        expected=int(expected[cycle, out_index]),
-                        actual=int(actual[lane, out_index]),
-                    )
                 obs.count("lockstep.lanes_retired", int(lane_bad.sum()))
                 sim.retire_lanes(lane_bad)
                 if not sim.active.any():
                     return results
-        for lane in range(n_lanes):
-            if results[lane] is None:
-                results[lane] = EquivalenceResult(
-                    equivalent=True, cycles_run=len(ref.stimulus)
-                )
-        return results
+        return engine.finish(len(ref.stimulus))
     except (SimulationError, OverflowError, ValueError):
         # Undecided lanes stay None: the caller replays them scalar.
         return results
@@ -596,16 +584,16 @@ def _check_many_against_trace(
                 else:
                     results[index] = lane_result
 
-    for index in scalar:
+    def _scalar_check(index: int) -> EquivalenceResult:
         obs.count("vereval.scalar_checks")
-        try:
-            results[index] = _check_against_trace(
-                ref, candidates[index], problem
-            )
-        except SimulationError:
-            results[index] = EquivalenceResult(
-                equivalent=False, error="simulation"
-            )
+        return _check_against_trace(ref, candidates[index], problem)
+
+    replay_stragglers(
+        results,
+        scalar,
+        _scalar_check,
+        lambda exc: EquivalenceResult(equivalent=False, error="simulation"),
+    )
     return results
 
 

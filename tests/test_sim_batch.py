@@ -16,6 +16,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro import obs
 from repro.errors import SimulationError
 from repro.sim import (
     BatchSimulator,
@@ -26,17 +27,22 @@ from repro.sim import (
     Testbench,
     UnbatchableDesign,
     batch_design,
+    configure_lane_representation,
     elaborate,
+    lane_representation,
     equivalence_check,
     random_stimulus,
     sweep_random_stimulus,
 )
 from repro.sim import cache as sim_cache
+from repro.sim import make_batch_simulator
 from repro.sim.batch import is_stateless_comb
+from repro.sim.bitslice import BitsliceSimulator
 from repro.utils.rng import DeterministicRNG
 from repro.vereval import build_problem_set
 from repro.vereval.problems import EvalProblem
 from repro.vgen import FAMILIES, generate_family
+from repro.vgen.base import GeneratedModule, ModuleInterface
 from repro.verilog import parse_source
 
 import repro.vereval.harness as harness
@@ -173,18 +179,41 @@ class TestOneLaneFacade:
             sim.poke("clk", 1)
         assert sim.peek("count") == 3
 
-    def test_wide_design_falls_back(self):
-        # 64-bit datapath exceeds the int64 lane budget.
+    def test_wide_design_falls_back_when_pinned_int64(self):
+        # 64-bit datapath exceeds the int64 lane budget; pinning the
+        # representation to int64 restores the historical scalar
+        # fallback (the default census routes wide designs to spill).
         source = (
             "module m(input [63:0] a, output [63:0] y); assign y = ~a;"
             " endmodule"
         )
-        with pytest.raises(UnbatchableDesign):
-            batch_design(build(source, "m"), 1)
-        sim = Simulator(build(source, "m"), backend="batch")
-        assert not isinstance(sim, BatchSimulator)
-        sim.poke("a", (1 << 64) - 2)
-        assert sim.peek("y") == 1
+        previous = configure_lane_representation("int64")
+        try:
+            with pytest.raises(UnbatchableDesign):
+                batch_design(build(source, "m"), 1)
+            sim = Simulator(build(source, "m"), backend="batch")
+            assert not isinstance(sim, BatchSimulator)
+            sim.poke("a", (1 << 64) - 2)
+            assert sim.peek("y") == 1
+        finally:
+            configure_lane_representation(previous)
+
+    def test_wide_design_runs_on_spill_lanes(self):
+        # Default census: >63-bit designs run lane-parallel on the
+        # multi-word spill representation — no scalar fallback.
+        source = (
+            "module m(input [127:0] a, output [127:0] y); assign y = ~a;"
+            " endmodule"
+        )
+        design = build(source, "m")
+        assert lane_representation(design) == "spill"
+        bd = batch_design(design, 4)
+        assert bd.representation == "spill"
+        sim = Simulator(design, backend="batch")
+        assert isinstance(sim, BatchSimulator)
+        value = (1 << 128) - 2
+        sim.poke("a", value)
+        assert sim.peek("y") == value ^ ((1 << 128) - 1)
 
     def test_explicit_lane_request_on_unbatchable_raises_cleanly(self):
         # The scalar fallback cannot honour an explicit n_lanes request;
@@ -193,9 +222,13 @@ class TestOneLaneFacade:
             "module m(input [63:0] a, output [63:0] y); assign y = ~a;"
             " endmodule"
         )
-        with pytest.raises(SimulationError) as err:
-            Simulator(build(source, "m"), backend="batch", n_lanes=4)
-        assert "lane-parallelizable" in str(err.value)
+        previous = configure_lane_representation("int64")
+        try:
+            with pytest.raises(SimulationError) as err:
+                Simulator(build(source, "m"), backend="batch", n_lanes=4)
+            assert "lane-parallelizable" in str(err.value)
+        finally:
+            configure_lane_representation(previous)
 
 
 class TestErrorClassificationPerLane:
@@ -320,6 +353,109 @@ class TestBatchTestbench:
         assert lockstep.traces == [t[:3] for t in reference.traces]
 
 
+class TestLaneRepresentationMatrix:
+    """Identity across the int64 / spill / bitslice lane backends.
+
+    Each representation must stay lane-for-lane identical to the scalar
+    compiled backend; a pin the design cannot honour falls back to the
+    scalar path, which is itself identity-checked by ``sweep_module``.
+    """
+
+    @pytest.mark.parametrize(
+        "representation", ["int64", "spill", "bitslice"]
+    )
+    @pytest.mark.parametrize("family", ["alu", "traffic_fsm", "lfsr"])
+    def test_pinned_representation_lane_identical(
+        self, representation, family
+    ):
+        module = generate_family(
+            family, DeterministicRNG(11).fork("repmatrix", family)
+        )
+        previous = configure_lane_representation(representation)
+        try:
+            sweep_module(module, 16, seeds=range(3))
+        finally:
+            configure_lane_representation(previous)
+
+    def test_bitheavy_design_picks_bitslice(self):
+        # 1-bit-dominated control logic: the width census selects the
+        # bit-sliced backend, and the facade builds its simulator.
+        source = (
+            "module ctl(input a, input b, input c, input d,"
+            " output x, output y, output z);"
+            " assign x = (a & b) | (c ^ d);"
+            " assign y = a ? b : c;"
+            " assign z = ~(a ^ b ^ c ^ d);"
+            " endmodule"
+        )
+        design = build(source, "ctl")
+        assert lane_representation(design) == "bitslice"
+        assert batch_design(design, 8).representation == "bitslice"
+        sim = make_batch_simulator(design, n_lanes=8)
+        assert isinstance(sim, BitsliceSimulator)
+        batch = sweep_random_stimulus(design, 12, range(8), clock=None)
+        scalar = sweep_random_stimulus(
+            design, 12, range(8), clock=None, backend="compiled"
+        )
+        assert batch.vectorized
+        assert batch.traces == scalar.traces
+
+    def test_spill_divergence_replays_identically(self):
+        # A dynamic field write past the spill guard (sig_width + 64)
+        # raises BatchDivergence; the sweep must transparently replay on
+        # the scalar backend with identical raw out-of-range semantics.
+        source = (
+            "module m(input [7:0] idx, input [7:0] d,"
+            " output reg [127:0] y);"
+            " always @* begin y = 128'd0; y[idx*32 +: 8] = d; end"
+            " endmodule"
+        )
+        design = build(source, "m")
+        assert lane_representation(design) == "spill"
+        batch = sweep_random_stimulus(design, 8, range(4), clock=None)
+        scalar = sweep_random_stimulus(
+            design, 8, range(4), clock=None, backend="compiled"
+        )
+        assert not batch.vectorized  # the guard forced the replay
+        assert batch.traces == scalar.traces
+        assert batch.errors == scalar.errors
+
+    def test_wide_error_classification_matches_scalar(self):
+        # Wide (spill-census) multi-driven net: unlevelizable, so every
+        # lane replays scalar — per-lane error classification must match
+        # a lane-by-lane scalar run exactly.
+        source = (
+            "module m(input [95:0] a, input [95:0] b,"
+            " output [95:0] y); assign y = a; assign y = b; endmodule"
+        )
+        design = build(source, "m")
+        assert lane_representation(design) == "spill"
+        batch = sweep_random_stimulus(design, 6, range(3), clock=None)
+        scalar = sweep_random_stimulus(
+            design, 6, range(3), clock=None, backend="compiled"
+        )
+        assert batch.errors == scalar.errors
+        assert batch.traces == scalar.traces
+        assert any(batch.errors)
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    family=st.sampled_from(ALL_FAMILIES),
+    seed=st.integers(0, 2**18),
+    representation=st.sampled_from(["int64", "spill", "bitslice"]),
+)
+def test_fuzz_representation_identity(family, seed, representation):
+    module = generate_family(
+        family, DeterministicRNG(seed).fork("repfuzz", family)
+    )
+    previous = configure_lane_representation(representation)
+    try:
+        sweep_module(module, 10, seeds=range(3))
+    finally:
+        configure_lane_representation(previous)
+
+
 class TestCombinationalFastPath:
     """The all-vectors lane check must be verdict-identical and actually
     engage for stateless combinational problems."""
@@ -380,6 +516,50 @@ class TestCombinationalFastPath:
             harness.BATCH_CHECK_ENABLED = previous
         if fast is not None:  # replacement may be a no-op for some styles
             assert fast == slow
+
+    def test_wide_comb_problem_rides_spill_lanes(self):
+        # >63-bit combinational family: the all-vectors fast path runs
+        # on spill lanes through the retirement engine instead of
+        # falling back to the scalar per-cycle loop.
+        source = (
+            "module widecomb(input [95:0] a, input [95:0] b,"
+            " output [96:0] s, output [95:0] x);"
+            " assign s = a + b; assign x = a ^ {b[47:0], b[95:48]};"
+            " endmodule"
+        )
+        module = GeneratedModule(
+            family="widecomb",
+            source=source,
+            interface=ModuleInterface(
+                module_name="widecomb", clock=None, reset=None,
+                reset_active_high=True,
+                inputs=[("a", 96), ("b", 96)],
+                outputs=[("s", 97), ("x", 96)],
+            ),
+            description="wide combinational datapath",
+        )
+        problem = EvalProblem(
+            problem_id="widecomb", module=module, stimulus_cycles=24,
+            stimulus_seed=2,
+        )
+        design = build(source, "widecomb")
+        assert lane_representation(design) == "spill"
+        ref = harness._GoldenRef(problem)
+        fallbacks = obs.counter_value("batch.fallback_scalar")
+        verdict = harness._check_all_vectors_batch(ref, design, problem)
+        assert verdict is not None and verdict.equivalent
+        assert obs.counter_value("batch.fallback_scalar") == fallbacks
+        # Mismatch bookkeeping stays scalar-identical at full width.
+        broken = build(source.replace("a + b", "a - b"), "widecomb")
+        fast = harness._check_all_vectors_batch(ref, broken, problem)
+        previous = harness.BATCH_CHECK_ENABLED
+        try:
+            harness.BATCH_CHECK_ENABLED = False
+            slow = harness._check_against_trace(ref, broken, problem)
+        finally:
+            harness.BATCH_CHECK_ENABLED = previous
+        assert fast == slow
+        assert not fast.equivalent
 
     def test_sequential_problem_skips_fast_path(self):
         problems = build_problem_set(n_problems=33)

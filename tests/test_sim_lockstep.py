@@ -21,6 +21,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro import obs
 from repro.sim import (
     BatchSimulator,
     LockstepSimulator,
@@ -273,13 +274,82 @@ endmodule
             "stage <= a ^ b;", "stage <= a ^ b; big <= {56'd0, b};"
         )
         from repro.sim.compile import UncompilableDesign
+        from repro.sim.batch import (
+            _group_representation,
+            configure_lane_representation,
+        )
 
         with pytest.raises(UncompilableDesign):
             lockstep_shape_digest(build(multi_driver, "dut"))
-        with pytest.raises(UnbatchableDesign):
-            lockstep_shape_digest(build(wide, "dut"))
+        # Wide siblings now carry spill lanes instead of raising; the
+        # historical fallback remains behind the int64 pin.
+        assert _group_representation(build(wide, "dut")) == "spill"
+        assert lockstep_shape_digest(build(wide, "dut"))
+        previous = configure_lane_representation("int64")
+        try:
+            with pytest.raises(UnbatchableDesign):
+                lockstep_shape_digest(build(wide, "dut"))
+        finally:
+            configure_lane_representation(previous)
         sources = [_dut(), _dut(op_mix="b & a"), multi_driver, wide]
         assert_lockstep_identical(problem, sources)
+
+    def test_wide_family_locksteps_without_scalar_fallback(self):
+        # A >63-bit sequential family: every candidate groups on spill
+        # lanes and the group runs in lockstep — no lane is replayed on
+        # the scalar path, and verdicts stay candidate-identical.
+        source = """module dut(
+  input clk, input rst, input [63:0] d,
+  output reg [127:0] acc, output [127:0] mix);
+  assign mix = acc ^ {d, d};
+  always @(posedge clk) begin
+    if (rst) acc <= 128'd0;
+    else acc <= {acc[63:0], acc[127:64]} + {64'd0, d};
+  end
+endmodule
+"""
+        module = GeneratedModule(
+            family="bench", source=source,
+            interface=ModuleInterface(
+                module_name="dut", clock="clk", reset="rst",
+                reset_active_high=True,
+                inputs=[("d", 64)], outputs=[("acc", 128), ("mix", 128)],
+            ),
+            description="wide-datapath DUT",
+        )
+        problem = _problem_for(module, cycles=24, problem_id="widepath")
+        from repro.sim.batch import _group_representation
+
+        assert _group_representation(build(source, "dut")) == "spill"
+        sources = [
+            source,
+            source + "\n// variant\n",
+            source.replace("acc ^ {d, d}", "acc & {d, d}"),
+            source.replace("+ {64'd0, d}", "- {64'd0, d}"),
+        ]
+        replayed = obs.counter_value("lockstep.lanes_replayed")
+        outcomes = assert_lockstep_identical(problem, sources)
+        assert obs.counter_value("lockstep.lanes_replayed") == replayed
+        assert outcomes[0] == (True, "")
+        assert outcomes[1] == (True, "")
+        assert outcomes[2][0] is False
+        assert outcomes[3][0] is False
+
+    @pytest.mark.parametrize("representation", ["int64", "spill"])
+    def test_pinned_representation_verdicts_identical(
+        self, representation
+    ):
+        # Lockstep honours the lane-representation pin; verdicts must be
+        # identical to the scalar loop under either backing store.
+        from repro.sim.batch import configure_lane_representation
+
+        problem = _dut_problem(problem_id=f"pin-{representation}")
+        sources = [_dut(), _dut(op_sum="b + a"), _mutate(_dut(), 0)]
+        previous = configure_lane_representation(representation)
+        try:
+            assert_lockstep_identical(problem, sources)
+        finally:
+            configure_lane_representation(previous)
 
     def test_golden_error_phases_propagate(self):
         # A golden that dies mid-trace (combinational loop poked into
