@@ -227,22 +227,30 @@ def plan_fingerprint(
     stages: Sequence[Any],
     stage_blob: bytes,
     backend_version: Optional[int] = None,
+    cegis_token: Optional[str] = None,
 ) -> str:
     """Identity of one fused stage list as executed *by this build*.
 
     Covers the graph structure (stage names, classes, and any declared
     ``STAGE_VERSION``), the exact pickled stage payload, the wire schema,
-    and the simulator backend version.  Both sides compute it — the
-    worker from the blob it deserialized and its own backend version —
-    so equality means "same plan, same semantics".
+    the simulator backend version, and the active CEGIS checking
+    configuration (which changes verdict semantics without changing any
+    stage).  Both sides compute it — the worker from the blob it
+    deserialized and its own local configuration — so equality means
+    "same plan, same semantics".
     """
     if backend_version is None:
         from repro.sim.cache import BACKEND_VERSION
 
         backend_version = BACKEND_VERSION
+    if cegis_token is None:
+        from repro.vereval.cegis import fingerprint_token
+
+        cegis_token = fingerprint_token()
     digest = hashlib.sha256()
     digest.update(f"repro.cluster/{PROTOCOL_VERSION}".encode("utf-8"))
     digest.update(f"/backend:{backend_version}".encode("utf-8"))
+    digest.update(f"/cegis:{cegis_token}".encode("utf-8"))
     for stage in stages:
         descriptor = (
             stage.name,

@@ -137,7 +137,11 @@ class CheckStage(MapStage):
     disk instead of being rederived) *and* pick the same lane backend —
     shape digests are keyed by the pin, so a worker on a different pin
     would group (and cache) candidates differently — even under executor
-    start methods that do not inherit the parent's environment.
+    start methods that do not inherit the parent's environment.  The
+    resolved CEGIS checking configuration
+    (:func:`repro.vereval.cegis.active_config`) is captured and re-applied
+    the same way, so every worker renders the same verdict semantics the
+    coordinator fingerprinted.
     """
 
     name = "eval_check"
@@ -146,6 +150,7 @@ class CheckStage(MapStage):
     def __init__(self, checkers: Mapping[str, Any],
                  cache_dir: str = None) -> None:
         from repro.sim.batch import configured_lane_representation
+        from repro.vereval import cegis
 
         self.checkers = dict(checkers)
         self.cache_dir = (
@@ -154,6 +159,7 @@ class CheckStage(MapStage):
         if self.cache_dir:
             sim_cache.configure(self.cache_dir)
         self.lane_representation = configured_lane_representation()
+        self.cegis_config = cegis.active_config()
 
     def map_item(self, record: SampleRecord) -> SampleRecord:
         return self.checkers[record.task_id].check(record)
@@ -208,6 +214,10 @@ class CheckStage(MapStage):
             from repro.sim.batch import configure_lane_representation
 
             configure_lane_representation(self.lane_representation)
+        if getattr(self, "cegis_config", None) is not None:
+            from repro.vereval import cegis
+
+            cegis.configure(self.cegis_config)
 
 
 @register_stage("eval_aggregate")

@@ -115,6 +115,7 @@ from repro.sim.batch import (
     lockstep_shape_digest,
     make_batch_simulator,
 )
+from repro.sim.coverage import CoverageTracker, POINTS_PER_BIT
 from repro.sim.testbench import (
     BatchTestbench,
     EquivalenceResult,
@@ -160,6 +161,8 @@ __all__ = [
     "make_batch_simulator",
     "default_backend",
     "set_default_backend",
+    "CoverageTracker",
+    "POINTS_PER_BIT",
     "Testbench",
     "BatchTestbench",
     "LockstepTestbench",

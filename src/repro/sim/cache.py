@@ -67,8 +67,9 @@ __all__ = [
 #: backend semantics or to the layout of pickled artifacts: stale entries
 #: are then counted as ``sim.cache.version_mismatch`` and evicted instead
 #: of deserializing stale behaviour (or leaking on disk forever, as the
-#: old key-embedded-version scheme did).
-BACKEND_VERSION = 6
+#: old key-embedded-version scheme did).  7: golden-ref artifacts grew
+#: coverage/full_cycles slots (CEGIS), evicting pre-CEGIS pickles.
+BACKEND_VERSION = 7
 
 _ENV = "REPRO_SIM_CACHE"
 

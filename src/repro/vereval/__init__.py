@@ -19,6 +19,15 @@ from repro.vereval.harness import (
     check_completion,
     evaluate_model,
 )
+from repro.vereval.cegis import (
+    CegisConfig,
+    DistinguishingSet,
+    DistinguishingVector,
+    active_config as cegis_active_config,
+    configure as cegis_configure,
+    distinguishing_set,
+    fingerprint_token as cegis_fingerprint_token,
+)
 
 __all__ = [
     "pass_at_k",
@@ -31,4 +40,11 @@ __all__ = [
     "check_candidates_lockstep",
     "check_completion",
     "evaluate_model",
+    "CegisConfig",
+    "DistinguishingSet",
+    "DistinguishingVector",
+    "cegis_active_config",
+    "cegis_configure",
+    "cegis_fingerprint_token",
+    "distinguishing_set",
 ]

@@ -129,10 +129,10 @@ class _GoldenRef:
 
     __slots__ = (
         "design", "signature", "stimulus", "output_names", "trace",
-        "error", "error_phase",
+        "error", "error_phase", "coverage", "full_cycles",
     )
 
-    def __init__(self, problem: EvalProblem) -> None:
+    def __init__(self, problem: EvalProblem, cegis_config=None) -> None:
         self.design = elaborate(
             parse_source_fast(problem.golden_source), problem.module.name
         )
@@ -148,7 +148,23 @@ class _GoldenRef:
         self.trace: List[Tuple[int, ...]] = []
         self.error: Optional[str] = None
         self.error_phase: str = ""  # "" | "construct" | "reset" | "step"
+        #: coverage summary dict when a CEGIS config measured this golden
+        self.coverage: Optional[Dict] = None
+        #: the configured stimulus depth, before any coverage truncation
+        self.full_cycles: int = len(self.stimulus)
         interface = problem.module.interface
+        cov = None
+        truncate = False
+        window = 0
+        if cegis_config is not None and cegis_config.enabled:
+            from repro.sim.coverage import CoverageTracker
+
+            cov = CoverageTracker(
+                self.design,
+                exclude=(interface.clock, interface.reset),
+            )
+            truncate = cegis_config.coverage_stimulus
+            window = cegis_config.coverage_window
         phase = "construct"
         try:
             bench = Testbench(
@@ -160,6 +176,8 @@ class _GoldenRef:
             self.output_names = tuple(bench.output_names)
             phase = "reset"
             bench.apply_reset()
+            if cov is not None:
+                cov.observe_sim(bench.sim)  # post-reset level baseline
             phase = "step"
             peek = bench.sim.peek
             for vector in self.stimulus:
@@ -168,9 +186,24 @@ class _GoldenRef:
                 self.trace.append(
                     tuple(peek(name) for name in self.output_names)
                 )
+                if cov is not None:
+                    cov.observe_sim(bench.sim)
+                    if truncate and cov.saturated(window):
+                        break
         except SimulationError as exc:
             self.error = str(exc)
             self.error_phase = phase
+        if cov is not None:
+            self.coverage = cov.summary()
+        # Coverage truncation shortens the recorded protocol itself, so
+        # candidate checks replay only the measured depth.  Error-cut
+        # traces keep the full stimulus: the trace-shorter-than-stimulus
+        # shape is what encodes a golden-error verdict downstream.
+        if self.error is None and len(self.trace) < len(self.stimulus):
+            saved = len(self.stimulus) - len(self.trace)
+            self.stimulus = self.stimulus[: len(self.trace)]
+            obs.count("sim.coverage.saturated_runs")
+            obs.count("sim.coverage.cycles_saved", saved)
 
 
 #: golden artifacts keyed by problem identity *and* content (including
@@ -202,6 +235,13 @@ def _golden_disk_key(problem: EvalProblem) -> Tuple[str, ...]:
 
 
 def _golden_ref(problem: EvalProblem) -> _GoldenRef:
+    from repro.vereval import cegis as _cegis
+
+    cfg = _cegis.active_config()
+    # Measured/truncated golden artifacts carry extra state (and, when
+    # truncating, a shorter protocol), so each stimulus mode gets its own
+    # memory and disk identity; the legacy mode keeps the legacy keys.
+    mode = cfg.golden_mode_token()
     interface = problem.module.interface
     key = (
         problem.problem_id,
@@ -212,12 +252,15 @@ def _golden_ref(problem: EvalProblem) -> _GoldenRef:
         interface.reset,
         interface.reset_active_high,
         problem.golden_source,
+        mode,
     )
     ref = _GOLDEN_CACHE.get(key)
     if ref is not None:
         _GOLDEN_CACHE.move_to_end(key)
         return ref
     disk_key = _golden_disk_key(problem)
+    if mode:
+        disk_key = disk_key + (mode,)
     ref = sim_cache.load("golden-ref", *disk_key)
     if not isinstance(ref, _GoldenRef):
         # Cold: the full parse→elaborate→stimulate→simulate pipeline runs
@@ -227,7 +270,7 @@ def _golden_ref(problem: EvalProblem) -> _GoldenRef:
             "vereval.golden", problem=problem.problem_id,
             cycles=problem.stimulus_cycles,
         ):
-            ref = _GoldenRef(problem)
+            ref = _GoldenRef(problem, cfg if cfg.enabled else None)
         sim_cache.store("golden-ref", ref, *disk_key)
     while len(_GOLDEN_CACHE) >= _GOLDEN_CACHE_MAX:
         _GOLDEN_CACHE.popitem(last=False)
@@ -684,12 +727,22 @@ def _check_candidates_lockstep(
             sim_cache.put_design(source, name, candidate)
         checkable.append((source, candidate, indices))
     if checkable:
-        verdicts = _check_many_against_trace(
-            ref,
-            [candidate for _, candidate, _ in checkable],
-            problem,
-            sources=[source for source, _, _ in checkable],
-        )
+        from repro.vereval import cegis as _cegis
+
+        cfg = _cegis.active_config()
+        designs = [candidate for _, candidate, _ in checkable]
+        srcs = [source for source, _, _ in checkable]
+        if cfg.enabled:
+            # Adversarial checking: distinguishing-set pre-check, the
+            # legacy full check for survivors, falsification search for
+            # passers — a strict refinement of the plain call below.
+            verdicts = _cegis.check_designs(
+                ref, designs, problem, sources=srcs, config=cfg
+            )
+        else:
+            verdicts = _check_many_against_trace(
+                ref, designs, problem, sources=srcs
+            )
         for (_, _, indices), verdict in zip(checkable, verdicts):
             if verdict.equivalent:
                 fill(indices, (True, ""))
@@ -733,7 +786,16 @@ def check_candidate_source(
     except ElaborationError:
         return False, "elaboration"
     try:
-        verdict = _check_against_trace(ref, candidate, problem)
+        from repro.vereval import cegis as _cegis
+
+        cfg = _cegis.active_config()
+        if cfg.enabled:
+            verdict = _cegis.check_designs(
+                ref, [candidate], problem,
+                sources=[candidate_source], config=cfg,
+            )[0]
+        else:
+            verdict = _check_against_trace(ref, candidate, problem)
     except SimulationError:
         return False, "simulation"
     if verdict.equivalent:

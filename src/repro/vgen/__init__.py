@@ -26,6 +26,7 @@ from repro.vgen.base import (
     random_style,
 )
 from repro.vgen.registry import FAMILIES, generate, generate_family, family_names
+from repro.vgen.mutate import Mutant, MUTATION_KINDS, mutate
 
 __all__ = [
     "GeneratedModule",
@@ -36,4 +37,7 @@ __all__ = [
     "generate",
     "generate_family",
     "family_names",
+    "Mutant",
+    "MUTATION_KINDS",
+    "mutate",
 ]

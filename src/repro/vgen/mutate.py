@@ -1,0 +1,136 @@
+"""Near-miss mutation operators over generated RTL modules.
+
+A checker is only as good as the candidates it can tell apart.  These
+operators take a :class:`~repro.vgen.base.GeneratedModule` and produce
+*near-miss* variants — syntactically valid, interface-identical modules
+whose behaviour differs from the golden in exactly one subtle way — the
+benchmark-for-the-benchmark ROADMAP asks for:
+
+* ``reset_polarity`` — the reset condition is inverted (``if (rst)`` →
+  ``if (!rst)``), so the design resets during normal operation and runs
+  free during reset;
+* ``blocking`` — every nonblocking assignment in the clocked blocks
+  becomes blocking (``<=`` → ``=``), so later statements in a block read
+  this edge's value instead of the previous one (only observable when a
+  block's statements are data-dependent — otherwise the mutant is a true
+  equivalent, which is itself useful for measuring false kills);
+* ``narrow_reg`` — the first internal register declaration loses its top
+  bit (``reg [N:0] x`` → ``reg [N-1:0] x``), an off-by-one width that
+  only shows once the register value needs that bit.
+
+Operators are purely textual (regex over the generated source), which
+keeps them family-agnostic; each returns ``None`` when the pattern does
+not occur, and :func:`mutate` collects every applicable mutant.  The
+near-miss discrimination suite (``tests/test_cegis.py``) feeds these to
+the scalar and CEGIS checkers and measures how many each kills.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.vgen.base import GeneratedModule
+
+__all__ = ["Mutant", "MUTATION_KINDS", "mutate"]
+
+
+@dataclass(frozen=True)
+class Mutant:
+    """One near-miss variant of a generated module."""
+
+    kind: str
+    source: str
+    description: str
+
+
+#: one nonblocking assignment statement per line — the LHS-anchored match
+#: cannot hit relational ``<=`` (those sit behind ``if (`` / ``assign``)
+_NONBLOCKING = re.compile(
+    r"^(?P<lead>\s*)(?P<lhs>[A-Za-z_]\w*(?:\s*\[[^\]]*\])?)\s*<=\s*",
+    re.MULTILINE,
+)
+
+#: a standalone internal register declaration; port regs are declared
+#: inside the port list (``output reg [..] q``) and never match
+_REG_DECL = re.compile(
+    r"^(?P<lead>\s*)reg\s*\[(?P<msb>\d+):0\]\s*(?P<name>[A-Za-z_]\w*)\s*;",
+    re.MULTILINE,
+)
+
+
+def _mutate_reset_polarity(module: GeneratedModule) -> Optional[str]:
+    reset = module.interface.reset
+    if not reset:
+        return None
+    needle = f"if ({reset})"
+    if needle not in module.source:
+        return None
+    return module.source.replace(needle, f"if (!{reset})", 1)
+
+
+def _mutate_blocking(module: GeneratedModule) -> Optional[str]:
+    if module.interface.clock is None:
+        return None
+    mutated, count = _NONBLOCKING.subn(
+        lambda m: f"{m.group('lead')}{m.group('lhs')} = ", module.source
+    )
+    return mutated if count else None
+
+
+def _mutate_narrow_reg(module: GeneratedModule) -> Optional[str]:
+    for match in _REG_DECL.finditer(module.source):
+        msb = int(match.group("msb"))
+        if msb < 1:
+            continue  # a 1-bit register cannot lose a bit
+        replacement = (
+            f"{match.group('lead')}reg [{msb - 1}:0] {match.group('name')};"
+        )
+        return (
+            module.source[: match.start()]
+            + replacement
+            + module.source[match.end():]
+        )
+    return None
+
+
+_OPERATORS: Dict[str, Callable[[GeneratedModule], Optional[str]]] = {
+    "reset_polarity": _mutate_reset_polarity,
+    "blocking": _mutate_blocking,
+    "narrow_reg": _mutate_narrow_reg,
+}
+
+#: stable operator order (affects seeded sampling downstream)
+MUTATION_KINDS = tuple(_OPERATORS)
+
+_DESCRIPTIONS = {
+    "reset_polarity": "reset condition inverted (wrong polarity)",
+    "blocking": "nonblocking assignments swapped to blocking",
+    "narrow_reg": "internal register narrowed by one bit",
+}
+
+
+def mutate(module: GeneratedModule) -> List[Mutant]:
+    """Every applicable near-miss mutant of ``module``, in kind order.
+
+    Mutants preserve the module header (and therefore the interface
+    signature) by construction; a mutant whose operator pattern does not
+    occur in the source is simply omitted.  Mutated sources that no
+    longer differ from the original are omitted too.
+    """
+    mutants: List[Mutant] = []
+    for kind, operator in _OPERATORS.items():
+        mutated = operator(module)
+        if mutated is None or mutated == module.source:
+            continue
+        mutants.append(
+            Mutant(
+                kind=kind,
+                source=mutated,
+                description=(
+                    f"{module.family}/{module.name}: {_DESCRIPTIONS[kind]}"
+                ),
+            )
+        )
+    return mutants
